@@ -1,0 +1,80 @@
+// Package repro's top-level benchmarks regenerate every table and figure of
+// the paper's evaluation, one benchmark per experiment:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration rebuilds the experiment from scratch (caches reset), so the
+// reported time is the full cost of reproducing that table with the machine
+// models. The custom metric "key-model-s" is the experiment's headline model
+// value in normalized simulated seconds (e.g. the Tera row of a sequential
+// table, or the maximum-processor-count row of a speedup table), so shape
+// regressions show up in benchmark output directly.
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchCfg keeps benchmark runs quick; shapes are unaffected (times are
+// normalized to the paper's workload size).
+var benchCfg = experiments.Config{ScaleTA: 0.1, ScaleTM: 0.2}
+
+// lastCell parses the last column of the table's last row as a float metric.
+func lastCell(res *experiments.Result) float64 {
+	if len(res.Tables) == 0 {
+		return 0
+	}
+	tb := res.Tables[0]
+	if len(tb.Rows) == 0 {
+		return 0
+	}
+	row := tb.Rows[len(tb.Rows)-1]
+	for i := len(row) - 1; i >= 0; i-- {
+		if v, err := strconv.ParseFloat(row[i], 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// runExperiment is the shared benchmark body.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCaches()
+		res, err := e.Run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(lastCell(res), "key-model-s")
+		}
+	}
+}
+
+func BenchmarkTable1_Platforms(b *testing.B)            { runExperiment(b, "table1") }
+func BenchmarkTable2_SequentialTA(b *testing.B)         { runExperiment(b, "table2") }
+func BenchmarkTable3_Figure1_TAPentiumPro(b *testing.B) { runExperiment(b, "table3") }
+func BenchmarkTable4_Figure2_TAExemplar(b *testing.B)   { runExperiment(b, "table4") }
+func BenchmarkTable5_TATera(b *testing.B)               { runExperiment(b, "table5") }
+func BenchmarkTable6_TAChunkSweep(b *testing.B)         { runExperiment(b, "table6") }
+func BenchmarkTable7_TASummary(b *testing.B)            { runExperiment(b, "table7") }
+func BenchmarkTable8_SequentialTM(b *testing.B)         { runExperiment(b, "table8") }
+func BenchmarkTable9_Figure3_TMPentiumPro(b *testing.B) { runExperiment(b, "table9") }
+func BenchmarkTable10_Figure4_TMExemplar(b *testing.B)  { runExperiment(b, "table10") }
+func BenchmarkTable11_TMTera(b *testing.B)              { runExperiment(b, "table11") }
+func BenchmarkTable12_TMSummary(b *testing.B)           { runExperiment(b, "table12") }
+func BenchmarkAutopar(b *testing.B)                     { runExperiment(b, "autopar") }
+func BenchmarkAblationStreams(b *testing.B)             { runExperiment(b, "ablation-streams") }
+func BenchmarkAblationLatency(b *testing.B)             { runExperiment(b, "ablation-latency") }
+func BenchmarkAblationNetwork(b *testing.B)             { runExperiment(b, "ablation-network") }
+func BenchmarkAblationBlocking(b *testing.B)            { runExperiment(b, "ablation-blocking") }
+func BenchmarkAblationFineGrainSMP(b *testing.B)        { runExperiment(b, "ablation-finegrain-smp") }
+func BenchmarkProjectionScaling(b *testing.B)           { runExperiment(b, "projection-scaling") }

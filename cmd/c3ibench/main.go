@@ -1,0 +1,84 @@
+// Command c3ibench regenerates the paper's tables and figures (and the
+// reproduction's ablations) from the machine models and benchmark programs.
+//
+// Usage:
+//
+//	c3ibench -list                 # list experiment IDs
+//	c3ibench -run table5           # one experiment
+//	c3ibench -run table5,table6    # several
+//	c3ibench -all                  # everything, in paper order
+//	c3ibench -all -md              # markdown output (for EXPERIMENTS.md)
+//	c3ibench -scale-ta 0.5 ...     # bigger Threat Analysis workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "", "comma-separated experiment IDs to run")
+		all     = flag.Bool("all", false, "run every experiment in paper order")
+		md      = flag.Bool("md", false, "emit Markdown instead of ASCII tables")
+		text    = flag.Bool("text", true, "include free-text output (compiler feedback)")
+		scaleTA = flag.Float64("scale-ta", experiments.DefaultConfig().ScaleTA,
+			"Threat Analysis workload scale (1 = the paper's 1000 threats/scenario)")
+		scaleTM = flag.Float64("scale-tm", experiments.DefaultConfig().ScaleTM,
+			"Terrain Masking workload scale (1 = the paper's 60 threats/scenario)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-24s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "c3ibench: nothing to do; use -list, -run <ids> or -all")
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{ScaleTA: *scaleTA, ScaleTM: *scaleTM}
+	for _, id := range ids {
+		e, err := experiments.Get(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c3ibench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, tb := range res.Tables {
+			if *md {
+				fmt.Println(tb.Markdown())
+			} else {
+				fmt.Println(tb.Render())
+			}
+		}
+		for _, fig := range res.Figures {
+			fmt.Println(fig.Render(56, 16))
+		}
+		if *text && res.Text != "" {
+			fmt.Println(res.Text)
+		}
+		fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,163 @@
+// Command c3idata manages C3IPBS benchmark data: it generates the five-input
+// scenario files for each problem (with golden output checksums — the
+// suite's "correctness test for the benchmark output data") and re-validates
+// solver outputs against them.
+//
+//	c3idata -gen -dir ./data -scale-ta 0.1 -scale-tm 0.1   # write scenarios + goldens
+//	c3idata -check -dir ./data                             # solve and verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/c3i/data"
+	"repro/internal/c3i/terrain"
+	"repro/internal/c3i/threat"
+	"repro/internal/machine"
+	"repro/internal/smp"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate scenario files and golden checksums")
+		check   = flag.Bool("check", false, "solve stored scenarios and verify against goldens")
+		dir     = flag.String("dir", "c3ipbs-data", "data directory")
+		scaleTA = flag.Float64("scale-ta", 0.1, "Threat Analysis scale (1 = paper size)")
+		scaleTM = flag.Float64("scale-tm", 0.1, "Terrain Masking scale (1 = paper size)")
+	)
+	flag.Parse()
+	switch {
+	case *gen:
+		if err := generate(*dir, *scaleTA, *scaleTM); err != nil {
+			log.Fatal(err)
+		}
+	case *check:
+		if err := validate(*dir); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "c3idata: use -gen or -check")
+		os.Exit(2)
+	}
+}
+
+// solveThreat runs the sequential reference solver (on the Alpha model; the
+// output is machine-independent).
+func solveThreat(s *threat.Scenario) ([]threat.Interval, error) {
+	var out *threat.Output
+	e := smp.New(smp.AlphaStation())
+	_, err := e.Run("ref", func(th *machine.Thread) { out = threat.Sequential(th, s) })
+	if err != nil {
+		return nil, err
+	}
+	return out.Intervals, nil
+}
+
+func solveTerrain(s *terrain.Scenario) (*terrain.Masking, error) {
+	var out *terrain.Output
+	e := smp.New(smp.AlphaStation())
+	_, err := e.Run("ref", func(th *machine.Thread) { out = terrain.Sequential(th, s) })
+	if err != nil {
+		return nil, err
+	}
+	return out.Masking, nil
+}
+
+func generate(dir string, scaleTA, scaleTM float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var goldens []data.Golden
+
+	for i, s := range threat.Suite(scaleTA) {
+		path := filepath.Join(dir, fmt.Sprintf("threat-%d.c3i", i+1))
+		if err := data.SaveThreatScenario(path, s); err != nil {
+			return err
+		}
+		ivs, err := solveThreat(s)
+		if err != nil {
+			return err
+		}
+		sum := data.IntervalsChecksum(ivs)
+		goldens = append(goldens, data.Golden{Scenario: s.Name, Kind: "threat-analysis", Checksum: sum})
+		fmt.Printf("wrote %-22s %5d threats %6d intervals  checksum %016x\n",
+			path, len(s.Threats), len(ivs), sum)
+	}
+	for i, s := range terrain.Suite(scaleTM) {
+		path := filepath.Join(dir, fmt.Sprintf("terrain-%d.c3i", i+1))
+		if err := data.SaveTerrainScenario(path, s); err != nil {
+			return err
+		}
+		m, err := solveTerrain(s)
+		if err != nil {
+			return err
+		}
+		sum := data.MaskingChecksum(m)
+		goldens = append(goldens, data.Golden{Scenario: s.Name, Kind: "terrain-masking", Checksum: sum})
+		fmt.Printf("wrote %-22s %5d sites   %6d masked   checksum %016x\n",
+			path, len(s.Threats), m.FiniteCells(), sum)
+	}
+	gpath := filepath.Join(dir, "golden.c3i")
+	if err := data.SaveGolden(gpath, goldens); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records)\n", gpath, len(goldens))
+	return nil
+}
+
+func validate(dir string) error {
+	goldens, err := data.LoadGolden(filepath.Join(dir, "golden.c3i"))
+	if err != nil {
+		return err
+	}
+	failures := 0
+	for i := 1; ; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("threat-%d.c3i", i))
+		if _, err := os.Stat(path); err != nil {
+			break
+		}
+		s, err := data.LoadThreatScenario(path)
+		if err != nil {
+			return err
+		}
+		ivs, err := solveThreat(s)
+		if err != nil {
+			return err
+		}
+		if err := data.CheckGolden(goldens, s.Name, "threat-analysis", data.IntervalsChecksum(ivs)); err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			failures++
+		} else {
+			fmt.Printf("ok   %s\n", path)
+		}
+	}
+	for i := 1; ; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("terrain-%d.c3i", i))
+		if _, err := os.Stat(path); err != nil {
+			break
+		}
+		s, err := data.LoadTerrainScenario(path)
+		if err != nil {
+			return err
+		}
+		m, err := solveTerrain(s)
+		if err != nil {
+			return err
+		}
+		if err := data.CheckGolden(goldens, s.Name, "terrain-masking", data.MaskingChecksum(m)); err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			failures++
+		} else {
+			fmt.Printf("ok   %s\n", path)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("c3idata: %d correctness failures", failures)
+	}
+	fmt.Println("all outputs match their goldens")
+	return nil
+}

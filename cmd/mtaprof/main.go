@@ -1,0 +1,76 @@
+// Command mtaprof explores the Tera MTA machine model directly: how issue
+// utilization and runtime scale with the number of streams, the memory
+// intensity of the workload, and the machine parameters. It is the tool for
+// understanding *why* the benchmark tables come out the way they do.
+//
+//	mtaprof                       # stream sweep with the default kernel
+//	mtaprof -procs 2 -latency 280 # what a slower network would do
+//	mtaprof -deps 8               # a memory-dependent kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/mta"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		procs   = flag.Int("procs", 1, "processors")
+		opsIter = flag.Int64("ops", 130, "compute ops per iteration per stream")
+		deps    = flag.Int("deps", 2, "dependent loads per iteration per stream")
+		iters   = flag.Int("iters", 50, "iterations per stream")
+		latency = flag.Float64("latency", 0, "override memory latency (cycles)")
+	)
+	flag.Parse()
+
+	tb := &report.Table{
+		ID:      "mtaprof",
+		Title:   fmt.Sprintf("MTA issue utilization vs streams (%d proc, %d ops + %d dependent loads per iteration)", *procs, *opsIter, *deps),
+		Columns: []string{"Streams", "Cycles", "Issue utilization", "Throughput (ops/cycle)"},
+	}
+	for _, streams := range []int{1, 2, 4, 8, 16, 21, 32, 48, 64, 80, 96, 128} {
+		p := mta.DefaultParams(*procs)
+		if *latency > 0 {
+			p.MemLatency = *latency
+		}
+		e := mta.New(p)
+		res, err := e.Run("kernel", func(t *machine.Thread) {
+			r := t.Alloc("data", 1<<22)
+			var ts []*machine.Thread
+			for i := 0; i < streams; i++ {
+				off := uint64(i) * 4096
+				ts = append(ts, t.Go(fmt.Sprintf("s%d", i), func(c *machine.Thread) {
+					for j := 0; j < *iters; j++ {
+						c.Compute(*opsIter)
+						if *deps > 0 {
+							c.Burst(mem.Burst{Region: r, Offset: off, Stride: 8, Elem: 8, N: *deps, Dep: true})
+						}
+					}
+				}))
+			}
+			t.JoinAll(ts)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		util := 0.0
+		for _, u := range res.Stats.ProcUtil {
+			util += u
+		}
+		util /= float64(len(res.Stats.ProcUtil))
+		totalOps := float64(streams) * float64(*iters) * float64(*opsIter)
+		tb.AddRow(streams,
+			fmt.Sprintf("%.0f", res.Stats.Cycles),
+			fmt.Sprintf("%.1f%%", util*100),
+			fmt.Sprintf("%.3f", totalOps/res.Stats.Cycles))
+	}
+	fmt.Println(tb.Render())
+	fmt.Println("The single-stream row shows the paper's ~5% utilization; with a")
+	fmt.Println("memory-dependent kernel, saturation needs far more than 21 streams.")
+}

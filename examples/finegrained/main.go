@@ -1,0 +1,97 @@
+// Fine-grained synchronization demo: the Tera MTA's full/empty bits make
+// word-level producer/consumer synchronization and atomic appends nearly
+// free, while a conventional SMP emulates the same semantics with locks and
+// condition variables at hundreds to thousands of cycles per operation.
+//
+// The program builds a four-stage pipeline connected by single-word
+// full/empty cells (each stage writes-when-empty / reads-when-full) and an
+// atomic fetch-and-add histogram, then runs both on the MTA model and the
+// Exemplar model. Same source, ~100x cost difference per synchronization —
+// the paper's "major strength of the Tera MTA".
+//
+//	go run ./examples/finegrained
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/machine"
+	"repro/internal/mta"
+	"repro/internal/smp"
+)
+
+const items = 2000
+
+// pipeline runs a 4-stage pipeline over `items` tokens through full/empty
+// cells, then checks the result.
+func pipeline(t *machine.Thread) {
+	cells := []*machine.SyncVar{
+		t.NewSyncVar("s0->s1"),
+		t.NewSyncVar("s1->s2"),
+		t.NewSyncVar("s2->s3"),
+	}
+	counts := t.NewCounter("histogram", 0)
+
+	var stages []*machine.Thread
+	// Producer.
+	stages = append(stages, t.Go("stage0", func(c *machine.Thread) {
+		for i := 0; i < items; i++ {
+			c.Compute(20)
+			cells[0].WriteEF(c, int64(i))
+		}
+	}))
+	// Two relay stages.
+	for s := 0; s < 2; s++ {
+		s := s
+		stages = append(stages, t.Go(fmt.Sprintf("stage%d", s+1), func(c *machine.Thread) {
+			for i := 0; i < items; i++ {
+				v := cells[s].ReadFE(c)
+				c.Compute(35)
+				cells[s+1].WriteEF(c, v+1)
+			}
+		}))
+	}
+	// Consumer with atomic histogram update.
+	stages = append(stages, t.Go("stage3", func(c *machine.Thread) {
+		for i := 0; i < items; i++ {
+			v := cells[2].ReadFE(c)
+			_ = v
+			counts.Next(c)
+		}
+	}))
+	t.JoinAll(stages)
+	if counts.Value() != items {
+		log.Fatalf("histogram = %d, want %d", counts.Value(), items)
+	}
+}
+
+func main() {
+	fmt.Printf("4-stage pipeline over %d tokens through full/empty cells:\n\n", items)
+	type row struct {
+		name    string
+		seconds float64
+		stats   machine.Stats
+	}
+	var rows []row
+	for _, build := range []func() *machine.Engine{
+		func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
+		func() *machine.Engine { return smp.New(smp.Exemplar(4)) },
+	} {
+		e := build()
+		res, err := e.Run("pipeline", pipeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{e.Config().Name, res.Seconds, res.Stats})
+	}
+	for _, r := range rows {
+		perOp := r.seconds / float64(r.stats.SyncOps+r.stats.AtomicOps)
+		fmt.Printf("%-22s %10.3f ms simulated  %6d sync ops  ≈%6.0f ns/sync-op\n",
+			r.name, r.seconds*1e3, r.stats.SyncOps+r.stats.AtomicOps, perOp*1e9)
+	}
+	fmt.Printf("\nratio: the conventional machine pays %.0fx more per synchronization.\n",
+		rows[1].seconds/rows[0].seconds)
+	fmt.Println("(the paper: thread synchronization costs \"hundreds to thousands of")
+	fmt.Println("cycles\" on conventional multiprocessors vs ~1 cycle on the MTA)")
+}

@@ -1,0 +1,65 @@
+// Threat Analysis end to end: generate a benchmark scenario, solve it with
+// all three program variants on two platforms, verify the outputs agree,
+// and print the simulated times — a miniature of the paper's Tables 2–7.
+//
+//	go run ./examples/threatanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/c3i/threat"
+	"repro/internal/machine"
+	"repro/internal/mta"
+	"repro/internal/smp"
+)
+
+func main() {
+	s := threat.GenScenario("demo", threat.GenParams{
+		NumThreats: 120, NumWeapons: 25, Seed: 7,
+	})
+	fmt.Printf("scenario: %d threats × %d weapons, %d total simulation steps\n\n",
+		len(s.Threats), len(s.Weapons), s.TotalSteps())
+
+	runs := []struct {
+		label string
+		build func() *machine.Engine
+		solve func(t *machine.Thread) *threat.Output
+	}{
+		{"sequential on Exemplar(16)",
+			func() *machine.Engine { return smp.New(smp.Exemplar(16)) },
+			func(t *machine.Thread) *threat.Output { return threat.Sequential(t, s) }},
+		{"chunked(16) on Exemplar(16)",
+			func() *machine.Engine { return smp.New(smp.Exemplar(16)) },
+			func(t *machine.Thread) *threat.Output { return threat.Chunked(t, s, 16) }},
+		{"sequential on Tera MTA(1)",
+			func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
+			func(t *machine.Thread) *threat.Output { return threat.Sequential(t, s) }},
+		{"chunked(256) on Tera MTA(1)",
+			func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
+			func(t *machine.Thread) *threat.Output { return threat.Chunked(t, s, 256) }},
+		{"fine-grained on Tera MTA(1)",
+			func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
+			func(t *machine.Thread) *threat.Output { return threat.FineGrained(t, s) }},
+	}
+
+	var reference *threat.Output
+	for _, r := range runs {
+		var out *threat.Output
+		e := r.build()
+		res, err := e.Run(r.label, func(t *machine.Thread) { out = r.solve(t) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reference == nil {
+			reference = out
+		} else if err := threat.Verify(out.Intervals, reference.Intervals); err != nil {
+			log.Fatalf("%s: output mismatch: %v", r.label, err)
+		}
+		fmt.Printf("%-30s %8.2f s simulated   %6d intervals   %5.1f MB interval arrays\n",
+			r.label, res.Seconds, len(out.Intervals), float64(out.ArrayBytes)/(1<<20))
+	}
+	fmt.Println("\nall variants produced the same interval set (the fine-grained")
+	fmt.Println("variant in a different order — the paper's nondeterminism note).")
+}

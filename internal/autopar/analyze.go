@@ -1,0 +1,410 @@
+package autopar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Verdict is the analyzer's conclusion about one loop.
+type Verdict int
+
+const (
+	// Parallel: the loop's iterations are provably independent.
+	Parallel Verdict = iota
+	// ParallelByPragma: not provable, but the programmer's explicit pragma
+	// asserts independence (the paper's manual parallelization).
+	ParallelByPragma
+	// Sequential: the loop cannot be parallelized as written.
+	Sequential
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Parallel:
+		return "PARALLELIZED"
+	case ParallelByPragma:
+		return "PARALLELIZED (by explicit pragma only)"
+	default:
+		return "NOT PARALLELIZED"
+	}
+}
+
+// ObstacleKind classifies why a loop resists parallelization.
+type ObstacleKind int
+
+const (
+	// ObSharedScalar: a scalar live across iterations is written (the
+	// num_intervals pattern).
+	ObSharedScalar ObstacleKind = iota
+	// ObCarriedDependence: a proven loop-carried array dependence.
+	ObCarriedDependence
+	// ObOpaqueSubscript: a subscript the analyzer cannot express affinely.
+	ObOpaqueSubscript
+	// ObUnknownCall: a call with unanalyzable side effects.
+	ObUnknownCall
+	// ObDataDependentLoop: an inner while with unknown trip count.
+	ObDataDependentLoop
+)
+
+// Obstacle is one reason a loop was not parallelized, with the compiler-
+// feedback explanation shown to the programmer.
+type Obstacle struct {
+	Kind ObstacleKind
+	Text string
+}
+
+// Report is the analysis result for one loop, with nested loop reports.
+type Report struct {
+	LoopVar   string
+	Verdict   Verdict
+	Obstacles []Obstacle
+	Notes     []string // non-blocking observations (reductions, pragma use)
+	Children  []*Report
+}
+
+// AnalyzeProgram analyzes every top-level loop of a program.
+func AnalyzeProgram(p *Program) []*Report {
+	var out []*Report
+	for _, s := range p.Top {
+		if l, ok := s.(Loop); ok {
+			out = append(out, AnalyzeLoop(&l))
+		}
+	}
+	return out
+}
+
+// AnalyzeLoop determines whether the loop's iterations can run in parallel,
+// producing the obstacles a compiler-feedback tool would report. Nested
+// loops are analyzed recursively (each as a parallelization candidate in its
+// own right, with outer variables treated as loop-invariant parameters).
+func AnalyzeLoop(l *Loop) *Report {
+	r := &Report{LoopVar: l.Var}
+	local := map[string]bool{l.Var: true}
+	for _, v := range l.Locals {
+		local[v] = true
+	}
+
+	var refs []colRef
+	collect(l.Body, local, nil, r, &refs)
+
+	// Scalar dependences: any non-local scalar written in the body is live
+	// across iterations.
+	seenScalar := map[string]bool{}
+	for _, cr := range refs {
+		ref := cr.ref
+		if len(ref.Index) > 0 || !ref.Write || local[ref.Array] || seenScalar[ref.Array] {
+			continue
+		}
+		seenScalar[ref.Array] = true
+		r.Obstacles = append(r.Obstacles, Obstacle{ObSharedScalar, fmt.Sprintf(
+			"scalar %q is written on every iteration and carries a value between iterations",
+			ref.Array)})
+	}
+
+	// Array dependences: test every pair on the same array with ≥1 write.
+	reported := map[string]bool{}
+	for i := 0; i < len(refs); i++ {
+		for j := i; j < len(refs); j++ {
+			a, b := refs[i], refs[j]
+			if a.ref.Array != b.ref.Array || len(a.ref.Index) == 0 || len(b.ref.Index) == 0 {
+				continue
+			}
+			if !a.ref.Write && !b.ref.Write {
+				continue
+			}
+			if local[a.ref.Array] {
+				continue // loop-private array: each iteration has its own
+			}
+			if ob, dep := testDependence(l, a, b); dep {
+				key := ob.Text
+				if !reported[key] {
+					reported[key] = true
+					r.Obstacles = append(r.Obstacles, ob)
+				}
+			}
+		}
+	}
+
+	// Verdict.
+	switch {
+	case len(r.Obstacles) == 0:
+		r.Verdict = Parallel
+	case l.Pragma:
+		r.Verdict = ParallelByPragma
+		r.Notes = append(r.Notes, "explicit pragma overrides the dependence analysis; "+
+			"correctness is the programmer's responsibility")
+	default:
+		r.Verdict = Sequential
+	}
+
+	// Recurse into nested loops as independent candidates.
+	var walkChildren func(body []Stmt)
+	walkChildren = func(body []Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case Loop:
+				r.Children = append(r.Children, AnalyzeLoop(&st))
+			case While:
+				walkChildren(st.Body)
+			case If:
+				walkChildren(st.Then)
+				walkChildren(st.Else)
+			}
+		}
+	}
+	walkChildren(l.Body)
+	return r
+}
+
+// colRef is a collected reference together with the inner-loop variables in
+// scope where it occurs. Those variables range over many values within one
+// outer iteration, so the outer dependence test must treat them universally,
+// not as fixed parameters.
+type colRef struct {
+	ref     Ref
+	varying map[string]bool
+}
+
+// collect gathers references and structural obstacles from a body. Refs
+// inside nested counted loops are included (their loop variables recorded as
+// varying); whiles and calls are obstacles in their own right.
+func collect(body []Stmt, local map[string]bool, varying map[string]bool, r *Report, refs *[]colRef) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Assign:
+			if st.Reduction && len(st.LHS.Index) == 0 {
+				r.Notes = append(r.Notes, fmt.Sprintf(
+					"recognized reduction on %q (legal to parallelize with a combining tree)", st.LHS.Array))
+			} else {
+				lhs := st.LHS
+				lhs.Write = true
+				*refs = append(*refs, colRef{lhs, varying})
+			}
+			for _, rd := range st.Reads {
+				*refs = append(*refs, colRef{rd, varying})
+			}
+		case Call:
+			r.Obstacles = append(r.Obstacles, Obstacle{ObUnknownCall, fmt.Sprintf(
+				"call %s(...) has unknown side effects; interprocedural analysis fails", st.Name)})
+		case While:
+			r.Obstacles = append(r.Obstacles, Obstacle{ObDataDependentLoop, fmt.Sprintf(
+				"inner while (%s) has a data-dependent trip count (time-stepped simulation)", st.Cond)})
+			collect(st.Body, local, varying, r, refs)
+		case If:
+			collect(st.Then, local, varying, r, refs)
+			collect(st.Else, local, varying, r, refs)
+		case Loop:
+			inner := map[string]bool{}
+			for k := range local {
+				inner[k] = true
+			}
+			inner[st.Var] = true
+			for _, v := range st.Locals {
+				inner[v] = true
+			}
+			vary := map[string]bool{st.Var: true}
+			for k := range varying {
+				vary[k] = true
+			}
+			// Nested refs participate in the outer dependence test; nested
+			// calls/whiles are obstacles for the outer loop too.
+			collect(st.Body, inner, vary, r, refs)
+		}
+	}
+}
+
+// testDependence decides whether refs a and b may touch the same element of
+// their array on different iterations of loop l. It returns the obstacle to
+// report when a dependence (or undecidability) is found.
+func testDependence(l *Loop, a, b colRef) (Obstacle, bool) {
+	v := l.Var
+	pairName := fmt.Sprintf("%s and %s", a.ref.String(), b.ref.String())
+
+	varying := map[string]bool{}
+	for k := range a.varying {
+		varying[k] = true
+	}
+	for k := range b.varying {
+		varying[k] = true
+	}
+
+	// Any opaque subscript defeats analysis.
+	for _, ref := range []Ref{a.ref, b.ref} {
+		for _, e := range ref.Index {
+			if o, ok := e.(Opaque); ok {
+				return Obstacle{ObOpaqueSubscript, fmt.Sprintf(
+					"subscript of %s is not analyzable: %s", ref.String(), o.Why)}, true
+			}
+		}
+	}
+	if len(a.ref.Index) != len(b.ref.Index) {
+		return Obstacle{ObOpaqueSubscript, fmt.Sprintf(
+			"references %s have mismatched dimensionality", pairName)}, true
+	}
+
+	// Dimension-by-dimension affine tests: the pair is independent if ANY
+	// dimension proves no cross-iteration solution exists; it is
+	// loop-independent (harmless) only if every dimension pins the access to
+	// the same iteration.
+	allSameIter := true
+	for d := range a.ref.Index {
+		fa := a.ref.Index[d].(Affine)
+		fb := b.ref.Index[d].(Affine)
+		switch testDim(l, v, fa, fb, varying) {
+		case depNone:
+			return Obstacle{}, false // provably independent
+		case depLoopIndependent:
+			// Same iteration only; keep checking other dimensions.
+		default:
+			allSameIter = false
+		}
+	}
+	if allSameIter {
+		return Obstacle{}, false
+	}
+	return Obstacle{ObCarriedDependence, fmt.Sprintf(
+		"possible loop-carried dependence between %s", pairName)}, true
+}
+
+type depResult int
+
+const (
+	depNone            depResult = iota // provably no cross-iteration overlap
+	depLoopIndependent                  // overlap only within one iteration
+	depCarried                          // proven cross-iteration dependence
+	depUnknown                          // cannot decide; assume dependence
+)
+
+// testDim tests one subscript dimension: does fa(i) = fb(i') admit a
+// solution with i ≠ i'? Uses the GCD test and constant-distance reasoning.
+// Symbolic parameters must match; symbols in varying (inner-loop variables)
+// range over many values within one iteration of l, so they can absorb any
+// constant difference — only exact same-iteration coincidence can then be
+// concluded, never independence.
+func testDim(l *Loop, v string, fa, fb Affine, varying map[string]bool) depResult {
+	av, bv := fa.Coef(v), fb.Coef(v)
+	if !equalParams(fa, fb, v) {
+		// Different symbolic parts: e.g. base+i vs base2+i. Without knowing
+		// the parameters, the compiler must assume overlap.
+		return depUnknown
+	}
+	hasVarying := false
+	for _, t := range fa.without(v).Terms {
+		if varying[t.Var] {
+			hasVarying = true
+		}
+	}
+	ca, cb := fa.Const, fb.Const
+	delta := cb - ca
+	if hasVarying {
+		// Identical varying parts: a different inner-loop value on another
+		// iteration of l can cancel any constant difference, so overlap
+		// cannot be ruled out. Only the exact same-subscript case with a
+		// loop-variant coefficient pins the access to one iteration of l.
+		if delta == 0 && av == bv && av != 0 {
+			return depLoopIndependent
+		}
+		if delta == 0 && av == 0 && bv == 0 {
+			return depCarried // the same varying range is re-touched every iteration
+		}
+		return depUnknown
+	}
+	switch {
+	case av == 0 && bv == 0:
+		if delta != 0 {
+			return depNone // distinct constant elements
+		}
+		return depCarried // the same element every iteration
+	case av == bv:
+		if delta%av != 0 {
+			return depNone // GCD test: no integral solution
+		}
+		dist := delta / av
+		if dist == 0 {
+			return depLoopIndependent
+		}
+		// Banerjee-style bound: a constant distance larger than the
+		// iteration count cannot be realized.
+		if lo, okLo := l.Lo.(Affine); okLo {
+			if hi, okHi := l.Hi.(Affine); okHi && len(lo.Terms) == 0 && len(hi.Terms) == 0 {
+				span := hi.Const - lo.Const
+				if dist > span || -dist > span {
+					return depNone
+				}
+			}
+		}
+		return depCarried
+	default:
+		// a·i − b·i′ = delta: solvable over the integers iff gcd(a,b) | delta.
+		if delta%gcd(abs(av), abs(bv)) != 0 {
+			return depNone
+		}
+		return depUnknown
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// Render formats a report tree as compiler feedback text.
+func Render(name string, reports []*Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", name)
+	var walk func(r *Report, depth int)
+	walk = func(r *Report, depth int) {
+		ind := strings.Repeat("  ", depth)
+		fmt.Fprintf(&sb, "%sloop over %s: %s\n", ind, r.LoopVar, r.Verdict)
+		for _, ob := range r.Obstacles {
+			fmt.Fprintf(&sb, "%s  - %s\n", ind, ob.Text)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "%s  * %s\n", ind, n)
+		}
+		for _, c := range r.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range reports {
+		walk(r, 0)
+	}
+	return sb.String()
+}
+
+// AnyPractical reports whether the analysis found any loop it could
+// parallelize without a pragma — the paper's criterion for "practical
+// opportunities for parallelization".
+func AnyPractical(reports []*Report) bool {
+	var any func(r *Report) bool
+	any = func(r *Report) bool {
+		if r.Verdict == Parallel {
+			return true
+		}
+		for _, c := range r.Children {
+			if any(c) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range reports {
+		if any(r) {
+			return true
+		}
+	}
+	return false
+}

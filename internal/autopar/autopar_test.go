@@ -1,0 +1,370 @@
+package autopar
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func topVerdict(t *testing.T, p *Program) *Report {
+	t.Helper()
+	reports := AnalyzeProgram(p)
+	if len(reports) == 0 {
+		t.Fatalf("%s: no loops analyzed", p.Name)
+	}
+	return reports[0]
+}
+
+func TestVectorAddParallel(t *testing.T) {
+	r := topVerdict(t, VectorAdd())
+	if r.Verdict != Parallel {
+		t.Errorf("vector add verdict = %v, obstacles %v", r.Verdict, r.Obstacles)
+	}
+}
+
+func TestStencilSequential(t *testing.T) {
+	r := topVerdict(t, Stencil1D())
+	if r.Verdict != Sequential {
+		t.Errorf("stencil verdict = %v, want Sequential", r.Verdict)
+	}
+	found := false
+	for _, ob := range r.Obstacles {
+		if ob.Kind == ObCarriedDependence {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stencil obstacles %v missing carried dependence", r.Obstacles)
+	}
+}
+
+func TestSumReductionParallelWithNote(t *testing.T) {
+	r := topVerdict(t, SumReduction())
+	if r.Verdict != Parallel {
+		t.Errorf("reduction verdict = %v, obstacles %v", r.Verdict, r.Obstacles)
+	}
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "reduction") {
+		t.Errorf("reduction note missing: %v", r.Notes)
+	}
+}
+
+func TestStridedDisjointParallelByGCD(t *testing.T) {
+	r := topVerdict(t, StridedDisjoint())
+	if r.Verdict != Parallel {
+		t.Errorf("strided disjoint verdict = %v, obstacles %v (GCD test failed)", r.Verdict, r.Obstacles)
+	}
+}
+
+func TestProgram1NotParallelized(t *testing.T) {
+	// The paper: the compilers "were unable to identify any practical
+	// opportunities for parallelization" of sequential Threat Analysis.
+	p := Program1ThreatSequential()
+	reports := AnalyzeProgram(p)
+	if AnyPractical(reports) {
+		t.Fatalf("Program 1 was parallelized:\n%s", Render(p.Name, reports))
+	}
+	r := reports[0]
+	if r.Verdict != Sequential {
+		t.Errorf("outer threat loop verdict = %v, want Sequential", r.Verdict)
+	}
+	kinds := map[ObstacleKind]bool{}
+	var collectKinds func(rep *Report)
+	collectKinds = func(rep *Report) {
+		for _, ob := range rep.Obstacles {
+			kinds[ob.Kind] = true
+		}
+		for _, c := range rep.Children {
+			collectKinds(c)
+		}
+	}
+	collectKinds(r)
+	for _, want := range []ObstacleKind{ObSharedScalar, ObOpaqueSubscript, ObUnknownCall, ObDataDependentLoop} {
+		if !kinds[want] {
+			t.Errorf("Program 1 missing obstacle kind %d; report:\n%s", want, Render(p.Name, reports))
+		}
+	}
+}
+
+func TestProgram1SharedScalarIsNumIntervals(t *testing.T) {
+	p := Program1ThreatSequential()
+	text := Render(p.Name, AnalyzeProgram(p))
+	if !strings.Contains(text, "num_intervals") {
+		t.Errorf("report does not name num_intervals:\n%s", text)
+	}
+}
+
+func TestProgram2NeedsPragma(t *testing.T) {
+	// Without the pragma the transformed program still fails (the paper:
+	// "the compilers were not even able to parallelize the manually
+	// transformed programs without the explicit parallel loop pragmas").
+	without := topVerdict(t, Program2ThreatChunked(false))
+	if without.Verdict != Sequential {
+		t.Errorf("Program 2 without pragma = %v, want Sequential", without.Verdict)
+	}
+	with := topVerdict(t, Program2ThreatChunked(true))
+	if with.Verdict != ParallelByPragma {
+		t.Errorf("Program 2 with pragma = %v, want ParallelByPragma", with.Verdict)
+	}
+}
+
+func TestProgram3NotParallelized(t *testing.T) {
+	p := Program3TerrainSequential()
+	reports := AnalyzeProgram(p)
+	if AnyPractical(reports) {
+		t.Fatalf("Program 3 was parallelized:\n%s", Render(p.Name, reports))
+	}
+	r := reports[0]
+	if r.Verdict != Sequential {
+		t.Errorf("threat loop verdict = %v, want Sequential", r.Verdict)
+	}
+	// The inner compute loop must be rejected for its neighbor dependence.
+	if len(r.Children) == 0 {
+		t.Fatal("no inner loop report")
+	}
+	inner := r.Children[0]
+	if inner.Verdict != Sequential {
+		t.Errorf("inner compute loop = %v, want Sequential (neighbor dependence)", inner.Verdict)
+	}
+}
+
+func TestProgram4NeedsPragma(t *testing.T) {
+	without := topVerdict(t, Program4TerrainCoarse(false))
+	if without.Verdict != Sequential {
+		t.Errorf("Program 4 without pragma = %v, want Sequential", without.Verdict)
+	}
+	with := topVerdict(t, Program4TerrainCoarse(true))
+	if with.Verdict != ParallelByPragma {
+		t.Errorf("Program 4 with pragma = %v, want ParallelByPragma", with.Verdict)
+	}
+}
+
+func TestPrivateArraysDoNotBlock(t *testing.T) {
+	// A loop writing a loop-local (private) array is parallel.
+	l := Loop{
+		Var: "i", Lo: Con(0), Hi: V("n-1"),
+		Locals: []string{"scratch"},
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "scratch", Index: []Expr{V("j")}},
+			Reads: []Ref{{Array: "b", Index: []Expr{V("i")}}},
+		}},
+	}
+	r := AnalyzeLoop(&l)
+	if r.Verdict != Parallel {
+		t.Errorf("private array loop = %v, obstacles %v", r.Verdict, r.Obstacles)
+	}
+}
+
+func TestInnerLoopVariableBlocksFalseIndependence(t *testing.T) {
+	// for i { for j { a[j] = ... } }: every i iteration writes the same
+	// a[j] range — a carried dependence the analyzer must not miss even
+	// though the subscripts do not mention i.
+	inner := Loop{
+		Var: "j", Lo: Con(0), Hi: V("m-1"),
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "a", Index: []Expr{V("j")}},
+			Reads: []Ref{{Array: "a", Index: []Expr{V("j")}}},
+		}},
+	}
+	outer := Loop{Var: "i", Lo: Con(0), Hi: V("n-1"), Body: []Stmt{inner}}
+	r := AnalyzeLoop(&outer)
+	if r.Verdict != Sequential {
+		t.Errorf("outer loop over rewritten range = %v, want Sequential", r.Verdict)
+	}
+	// The inner loop alone is fine (same-iteration access).
+	if len(r.Children) != 1 || r.Children[0].Verdict != Parallel {
+		t.Errorf("inner loop should be Parallel, got %+v", r.Children)
+	}
+}
+
+func TestInnerVariablePlusOffsetUnknown(t *testing.T) {
+	// for i { for j { a[j+1] = a[j] } }: constant difference absorbed by j
+	// across i iterations — must stay unparallelized at the i level.
+	inner := Loop{
+		Var: "j", Lo: Con(0), Hi: V("m-1"),
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "a", Index: []Expr{Aff(1, Term{"j", 1})}},
+			Reads: []Ref{{Array: "a", Index: []Expr{V("j")}}},
+		}},
+	}
+	outer := Loop{Var: "i", Lo: Con(0), Hi: V("n-1"), Body: []Stmt{inner}}
+	r := AnalyzeLoop(&outer)
+	if r.Verdict != Sequential {
+		t.Errorf("verdict = %v, want Sequential", r.Verdict)
+	}
+}
+
+func TestDistanceBeyondBoundsIndependent(t *testing.T) {
+	// a[i] vs a[i+100] in a loop of 10 iterations: Banerjee bound proves
+	// independence.
+	l := Loop{
+		Var: "i", Lo: Con(0), Hi: Con(9),
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "a", Index: []Expr{V("i")}},
+			Reads: []Ref{{Array: "a", Index: []Expr{Aff(100, Term{"i", 1})}}},
+		}},
+	}
+	r := AnalyzeLoop(&l)
+	if r.Verdict != Parallel {
+		t.Errorf("distance-100 in 10-trip loop = %v, obstacles %v", r.Verdict, r.Obstacles)
+	}
+}
+
+func TestDifferentParamBasesUnknown(t *testing.T) {
+	// a[base1+i] = a[base2+i]: without values for the bases the compiler
+	// must assume overlap.
+	l := Loop{
+		Var: "i", Lo: Con(0), Hi: V("n-1"),
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "a", Index: []Expr{Aff(0, Term{"base1", 1}, Term{"i", 1})}},
+			Reads: []Ref{{Array: "a", Index: []Expr{Aff(0, Term{"base2", 1}, Term{"i", 1})}}},
+		}},
+	}
+	r := AnalyzeLoop(&l)
+	if r.Verdict != Sequential {
+		t.Errorf("different-base subscripts = %v, want Sequential", r.Verdict)
+	}
+}
+
+func TestRenderContainsVerdictsAndObstacles(t *testing.T) {
+	p := Program1ThreatSequential()
+	text := Render(p.Name, AnalyzeProgram(p))
+	for _, want := range []string{"NOT PARALLELIZED", "while", "unknown side effects", "loop over threat"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAffineStringAndNormalization(t *testing.T) {
+	a := Aff(3, Term{"i", 2}, Term{"i", -2}, Term{"j", 1})
+	if a.Coef("i") != 0 {
+		t.Errorf("i coefficient = %d, want 0 after merge", a.Coef("i"))
+	}
+	if got := a.String(); got != "j+3" {
+		t.Errorf("String = %q, want j+3", got)
+	}
+	if got := Con(0).String(); got != "0" {
+		t.Errorf("Con(0).String = %q", got)
+	}
+	if got := Aff(0, Term{"x", -1}).String(); got != "-x" {
+		t.Errorf("String = %q, want -x", got)
+	}
+}
+
+// Property: the GCD-based dimension test is sound — whenever it claims
+// independence (depNone), brute-force enumeration over a small iteration
+// space finds no conflicting pair.
+func TestPropertyGCDSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo, hi := 0, 1+rng.Intn(30)
+		a := rng.Intn(9) - 4
+		b := rng.Intn(9) - 4
+		ca := rng.Intn(40) - 20
+		cb := rng.Intn(40) - 20
+		l := Loop{Var: "i", Lo: Con(lo), Hi: Con(hi)}
+		res := testDim(&l, "i",
+			Aff(ca, Term{"i", a}),
+			Aff(cb, Term{"i", b}), nil)
+		// Brute force: any i ≠ i' in bounds with a·i+ca == b·i'+cb?
+		conflict := false
+		sameIterOnly := true
+		for i := lo; i <= hi; i++ {
+			for i2 := lo; i2 <= hi; i2++ {
+				if a*i+ca == b*i2+cb {
+					if i != i2 {
+						conflict = true
+					}
+				}
+			}
+		}
+		switch res {
+		case depNone:
+			return !conflict
+		case depLoopIndependent:
+			// claims: only same-iteration coincidences exist
+			for i := lo; i <= hi; i++ {
+				for i2 := lo; i2 <= hi; i2++ {
+					if i != i2 && a*i+ca == b*i2+cb {
+						sameIterOnly = false
+					}
+				}
+			}
+			return sameIterOnly
+		default:
+			return true // conservative answers are always sound
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIfArmsAnalyzed(t *testing.T) {
+	// A conditional write to a[i-1] inside either arm must still be found.
+	l := Loop{
+		Var: "i", Lo: Con(1), Hi: V("n-1"),
+		Body: []Stmt{If{
+			Cond: "x > 0",
+			Then: []Stmt{Assign{
+				LHS:   Ref{Array: "a", Index: []Expr{V("i")}},
+				Reads: []Ref{{Array: "a", Index: []Expr{Aff(-1, Term{"i", 1})}}},
+			}},
+			Else: []Stmt{Assign{
+				LHS: Ref{Array: "b", Index: []Expr{V("i")}},
+			}},
+		}},
+	}
+	r := AnalyzeLoop(&l)
+	if r.Verdict != Sequential {
+		t.Errorf("conditional stencil verdict = %v, want Sequential", r.Verdict)
+	}
+}
+
+func TestIfAloneDoesNotBlock(t *testing.T) {
+	// Data-dependent control flow without cross-iteration references is
+	// still parallel.
+	l := Loop{
+		Var: "i", Lo: Con(0), Hi: V("n-1"),
+		Body: []Stmt{If{
+			Cond: "a[i] > 0",
+			Then: []Stmt{Assign{
+				LHS:   Ref{Array: "b", Index: []Expr{V("i")}},
+				Reads: []Ref{{Array: "a", Index: []Expr{V("i")}}},
+			}},
+		}},
+	}
+	r := AnalyzeLoop(&l)
+	if r.Verdict != Parallel {
+		t.Errorf("guarded vector op verdict = %v, obstacles %v", r.Verdict, r.Obstacles)
+	}
+}
+
+func TestPrintProgramListings(t *testing.T) {
+	for _, p := range []*Program{
+		Program1ThreatSequential(),
+		Program2ThreatChunked(true),
+		Program3TerrainSequential(),
+		Program4TerrainCoarse(true),
+	} {
+		out := PrintProgram(p)
+		if !strings.Contains(out, "for (") {
+			t.Errorf("%s: listing missing loop:\n%s", p.Name, out)
+		}
+	}
+	p2 := PrintProgram(Program2ThreatChunked(true))
+	for _, want := range []string{"#pragma multithreaded", "while (", "declare", "num_intervals[chunk]"} {
+		if !strings.Contains(p2, want) {
+			t.Errorf("Program 2 listing missing %q:\n%s", want, p2)
+		}
+	}
+	withIf := &Program{Name: "if-demo", Top: []Stmt{Loop{
+		Var: "i", Lo: Con(0), Hi: Con(9),
+		Body: []Stmt{If{Cond: "c", Then: []Stmt{Call{Name: "f"}}, Else: []Stmt{Call{Name: "g"}}}},
+	}}}
+	out := PrintProgram(withIf)
+	if !strings.Contains(out, "if (c)") || !strings.Contains(out, "} else {") {
+		t.Errorf("if/else not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,76 @@
+package autopar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintProgram renders a program's loop nest as pseudocode in the style of
+// the paper's Program listings, so the analyzer's input is inspectable next
+// to its verdict (cmd/autopar -show).
+func PrintProgram(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", p.Name)
+	if p.Notes != "" {
+		fmt.Fprintf(&sb, "  // %s\n", p.Notes)
+	}
+	for _, s := range p.Top {
+		printStmt(&sb, s, 1)
+	}
+	return sb.String()
+}
+
+func printStmt(sb *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	switch st := s.(type) {
+	case Loop:
+		pragma := ""
+		if st.Pragma {
+			fmt.Fprintf(sb, "%s#pragma multithreaded\n", ind)
+		}
+		fmt.Fprintf(sb, "%sfor (%s = %s .. %s) {%s\n", ind, st.Var, st.Lo.String(), st.Hi.String(), pragma)
+		if len(st.Locals) > 0 {
+			fmt.Fprintf(sb, "%s    declare %s;\n", ind, strings.Join(st.Locals, ", "))
+		}
+		for _, inner := range st.Body {
+			printStmt(sb, inner, depth+1)
+		}
+		fmt.Fprintf(sb, "%s}\n", ind)
+	case While:
+		fmt.Fprintf(sb, "%swhile (%s) {\n", ind, st.Cond)
+		for _, inner := range st.Body {
+			printStmt(sb, inner, depth+1)
+		}
+		fmt.Fprintf(sb, "%s}\n", ind)
+	case If:
+		fmt.Fprintf(sb, "%sif (%s) {\n", ind, st.Cond)
+		for _, inner := range st.Then {
+			printStmt(sb, inner, depth+1)
+		}
+		if len(st.Else) > 0 {
+			fmt.Fprintf(sb, "%s} else {\n", ind)
+			for _, inner := range st.Else {
+				printStmt(sb, inner, depth+1)
+			}
+		}
+		fmt.Fprintf(sb, "%s}\n", ind)
+	case Assign:
+		var reads []string
+		for _, r := range st.Reads {
+			reads = append(reads, r.String())
+		}
+		rhs := "..."
+		if len(reads) > 0 {
+			rhs = strings.Join(reads, ", ")
+		}
+		op := "="
+		if st.Reduction {
+			op = "⊕="
+		}
+		fmt.Fprintf(sb, "%s%s %s f(%s);\n", ind, st.LHS.String(), op, rhs)
+	case Call:
+		fmt.Fprintf(sb, "%s%s(...);\n", ind, st.Name)
+	default:
+		fmt.Fprintf(sb, "%s/* ? */\n", ind)
+	}
+}

@@ -1,0 +1,216 @@
+package autopar
+
+// This file contains loop-nest models of the four programs whose
+// parallelizability the paper studies (Programs 1–4), plus small textbook
+// loops used to validate that the analyzer is not trivially pessimistic.
+
+// Program1ThreatSequential models the paper's Program 1, sequential Threat
+// Analysis: three nested loops where every interval append increments the
+// shared num_intervals counter and writes intervals[num_intervals], and the
+// interception times come from time-stepped simulation inside a while loop.
+// As the paper says: "The indices that a particular iteration assigns to
+// cannot be determined without first executing the prior iterations."
+func Program1ThreatSequential() *Program {
+	while := While{
+		Cond: "weapon can intercept threat in [t0 .. impact]",
+		Body: []Stmt{
+			Assign{LHS: Ref{Array: "t1"}, Reads: nil},
+			Assign{LHS: Ref{Array: "t2"}, Reads: nil},
+			Assign{
+				LHS:   Ref{Array: "intervals", Index: []Expr{Opaque{"num_intervals, a sequential scalar"}}},
+				Reads: []Ref{{Array: "num_intervals"}},
+			},
+			Assign{LHS: Ref{Array: "num_intervals"}, Reads: []Ref{{Array: "num_intervals"}}},
+			Assign{LHS: Ref{Array: "t0"}, Reads: []Ref{{Array: "t2"}}},
+		},
+	}
+	weaponLoop := Loop{
+		Var: "weapon", Lo: Con(0), Hi: V("num_weapons-1"),
+		Body: []Stmt{
+			Assign{LHS: Ref{Array: "t0"}},
+			Call{Name: "InitialDetectionTime"},
+			Call{Name: "TimeSteppedIntercept"},
+			while,
+		},
+	}
+	threatLoop := Loop{
+		Var: "threat", Lo: Con(0), Hi: V("num_threats-1"),
+		Body: []Stmt{weaponLoop},
+	}
+	return &Program{
+		Name:  "Program 1: sequential Threat Analysis",
+		Top:   []Stmt{threatLoop},
+		Notes: "shared num_intervals/intervals plus t0,t1,t2 at function scope",
+	}
+}
+
+// Program2ThreatChunked models the paper's Program 2, the manually
+// transformed Threat Analysis: a chunk loop annotated with the parallel
+// pragma; each chunk owns num_intervals[chunk] and intervals[chunk][...],
+// and all scalars are localized into the loop body. The per-chunk counter is
+// affine in chunk, but the second subscript of intervals still flows through
+// it, and the body still contains calls and the time-stepped while — so
+// without the pragma the analyzer (like the paper's compilers) cannot prove
+// independence.
+func Program2ThreatChunked(pragma bool) *Program {
+	while := While{
+		Cond: "weapon can intercept threat in [t0 .. impact]",
+		Body: []Stmt{
+			Assign{
+				LHS: Ref{Array: "intervals", Index: []Expr{
+					V("chunk"), Opaque{"num_intervals[chunk], carried through the while loop"},
+				}},
+				Reads: []Ref{{Array: "num_intervals", Index: []Expr{V("chunk")}}},
+			},
+			Assign{
+				LHS:   Ref{Array: "num_intervals", Index: []Expr{V("chunk")}},
+				Reads: []Ref{{Array: "num_intervals", Index: []Expr{V("chunk")}}},
+			},
+		},
+	}
+	chunkLoop := Loop{
+		Var: "chunk", Lo: Con(0), Hi: V("num_chunks-1"),
+		Pragma: pragma,
+		Locals: []string{"first_threat", "last_threat", "threat", "weapon", "t0", "t1", "t2"},
+		Body: []Stmt{
+			Assign{LHS: Ref{Array: "num_intervals", Index: []Expr{V("chunk")}}},
+			Call{Name: "TimeSteppedIntercept"},
+			while,
+		},
+	}
+	return &Program{
+		Name:  "Program 2: multithreaded Threat Analysis (chunked)",
+		Top:   []Stmt{chunkLoop},
+		Notes: "per-chunk arrays; pragma asserts chunk independence",
+	}
+}
+
+// Program3TerrainSequential models the paper's Program 3, sequential
+// Terrain Masking: the outer loop over threats assigns to overlapping
+// regions of the masking array (subscripts depend on each threat's region of
+// influence, computed through pointer arithmetic), and the inner compute
+// pass reads neighboring points — a genuine loop-carried dependence.
+func Program3TerrainSequential() *Program {
+	// Inner x-loop of the compute pass: masking[x][y] from masking[x-1][y].
+	computeInner := Loop{
+		Var: "x", Lo: Con(0), Hi: V("region_x-1"),
+		Body: []Stmt{
+			Call{Name: "MaxSafeAltitude"},
+			Assign{
+				LHS: Ref{Array: "masking", Index: []Expr{V("x"), V("y")}},
+				Reads: []Ref{
+					{Array: "masking", Index: []Expr{Aff(-1, Term{"x", 1}), V("y")}},
+				},
+			},
+		},
+	}
+	// Save/min passes walk the region of influence via pointer arithmetic.
+	savePass := Assign{
+		LHS:   Ref{Array: "temp", Index: []Expr{Opaque{"pointer walk over region of influence"}}},
+		Reads: []Ref{{Array: "masking", Index: []Expr{Opaque{"pointer walk over region of influence"}}}},
+	}
+	minPass := Assign{
+		LHS: Ref{Array: "masking", Index: []Expr{Opaque{"region of influence of threat (overlaps between threats)"}}},
+		Reads: []Ref{
+			{Array: "masking", Index: []Expr{Opaque{"region of influence of threat (overlaps between threats)"}}},
+			{Array: "temp", Index: []Expr{Opaque{"pointer walk over region of influence"}}},
+		},
+	}
+	threatLoop := Loop{
+		Var: "threat", Lo: Con(0), Hi: V("num_threats-1"),
+		Body: []Stmt{savePass, computeInner, minPass},
+	}
+	return &Program{
+		Name:  "Program 3: sequential Terrain Masking",
+		Top:   []Stmt{threatLoop},
+		Notes: "overlapping regions of influence; neighbor-dependent compute pass",
+	}
+}
+
+// Program4TerrainCoarse models the paper's Program 4, coarse-grained
+// multithreaded Terrain Masking: a pragma-annotated thread loop whose body
+// dynamically claims threats from a shared queue inside a while loop and
+// minimizes into the shared masking array under block locks. Nothing here is
+// provable for a compiler; the pragma (plus the locking discipline) carries
+// the correctness argument.
+func Program4TerrainCoarse(pragma bool) *Program {
+	while := While{
+		Cond: "unprocessed threats",
+		Body: []Stmt{
+			Assign{LHS: Ref{Array: "next_threat"}, Reads: []Ref{{Array: "next_threat"}}},
+			Call{Name: "MaxSafeAltitude"},
+			Call{Name: "lock"},
+			Assign{
+				LHS: Ref{Array: "masking", Index: []Expr{Opaque{"region of overlap between threat and block"}}},
+				Reads: []Ref{
+					{Array: "masking", Index: []Expr{Opaque{"region of overlap between threat and block"}}},
+					{Array: "temp", Index: []Expr{Opaque{"private temp array"}}},
+				},
+			},
+			Call{Name: "unlock"},
+		},
+	}
+	threadLoop := Loop{
+		Var: "thread", Lo: Con(0), Hi: V("num_threads-1"),
+		Pragma: pragma,
+		Locals: []string{"threat", "x", "y", "temp"},
+		Body:   []Stmt{while},
+	}
+	return &Program{
+		Name:  "Program 4: coarse-grained multithreaded Terrain Masking",
+		Top:   []Stmt{threadLoop},
+		Notes: "dynamic threat queue; per-block locking; private temp arrays",
+	}
+}
+
+// --- Textbook loops used to validate the analyzer itself ---
+
+// VectorAdd is the trivially parallel a[i] = b[i] + c[i].
+func VectorAdd() *Program {
+	l := Loop{
+		Var: "i", Lo: Con(0), Hi: V("n-1"),
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "a", Index: []Expr{V("i")}},
+			Reads: []Ref{{Array: "b", Index: []Expr{V("i")}}, {Array: "c", Index: []Expr{V("i")}}},
+		}},
+	}
+	return &Program{Name: "vector add", Top: []Stmt{l}}
+}
+
+// Stencil1D is the flow-dependent a[i] = a[i-1] + b[i]: inherently serial.
+func Stencil1D() *Program {
+	l := Loop{
+		Var: "i", Lo: Con(1), Hi: V("n-1"),
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "a", Index: []Expr{V("i")}},
+			Reads: []Ref{{Array: "a", Index: []Expr{Aff(-1, Term{"i", 1})}}, {Array: "b", Index: []Expr{V("i")}}},
+		}},
+	}
+	return &Program{Name: "1-d stencil", Top: []Stmt{l}}
+}
+
+// SumReduction is sum += a[i] with the reduction recognized.
+func SumReduction() *Program {
+	l := Loop{
+		Var: "i", Lo: Con(0), Hi: V("n-1"),
+		Body: []Stmt{Assign{
+			LHS:       Ref{Array: "sum"},
+			Reads:     []Ref{{Array: "sum"}, {Array: "a", Index: []Expr{V("i")}}},
+			Reduction: true,
+		}},
+	}
+	return &Program{Name: "sum reduction", Top: []Stmt{l}}
+}
+
+// StridedDisjoint writes a[2i] and reads a[2i+1]: the GCD test proves
+// independence.
+func StridedDisjoint() *Program {
+	l := Loop{
+		Var: "i", Lo: Con(0), Hi: V("n-1"),
+		Body: []Stmt{Assign{
+			LHS:   Ref{Array: "a", Index: []Expr{Aff(0, Term{"i", 2})}},
+			Reads: []Ref{{Array: "a", Index: []Expr{Aff(1, Term{"i", 2})}}},
+		}},
+	}
+	return &Program{Name: "strided disjoint", Top: []Stmt{l}}
+}

@@ -1,0 +1,236 @@
+// Package data provides the C3I Parallel Benchmark Suite's data management:
+// each benchmark problem ships with "the benchmark input data" and "a
+// correctness test for the benchmark output data". Scenarios serialize to a
+// versioned binary format (gob with a magic header), and outputs reduce to
+// stable FNV-1a checksums so a run can be validated without storing full
+// golden outputs — the Terrain Masking result alone is tens of megabytes.
+//
+// The command c3idata generates scenario files and golden checksums, and
+// re-validates solver outputs against them.
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/c3i/terrain"
+	"repro/internal/c3i/threat"
+)
+
+// magic identifies scenario files; the byte after it is a format version.
+const (
+	magic   = "C3IPBS\x00"
+	version = 1
+
+	kindThreat  = "threat-analysis"
+	kindTerrain = "terrain-masking"
+)
+
+// header is the self-describing prefix of every scenario file.
+type header struct {
+	Kind    string
+	Version int
+}
+
+func writeFile(path, kind string, payload interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(magic); err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Kind: kind, Version: version}); err != nil {
+		return fmt.Errorf("data: encode header: %w", err)
+	}
+	if err := enc.Encode(payload); err != nil {
+		return fmt.Errorf("data: encode payload: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	return nil
+}
+
+func readFile(path, wantKind string, payload interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("data: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil || string(got) != magic {
+		return fmt.Errorf("data: %s is not a C3IPBS scenario file", path)
+	}
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("data: decode header: %w", err)
+	}
+	if h.Kind != wantKind {
+		return fmt.Errorf("data: %s holds a %s scenario, want %s", path, h.Kind, wantKind)
+	}
+	if h.Version != version {
+		return fmt.Errorf("data: %s has format version %d, want %d", path, h.Version, version)
+	}
+	if err := dec.Decode(payload); err != nil {
+		return fmt.Errorf("data: decode payload: %w", err)
+	}
+	return nil
+}
+
+// threatFile is the serialized form of a Threat Analysis scenario.
+type threatFile struct {
+	Name    string
+	DT      float64
+	Threats []threat.Threat
+	Weapons []threat.Weapon
+}
+
+// SaveThreatScenario writes a Threat Analysis scenario to path.
+func SaveThreatScenario(path string, s *threat.Scenario) error {
+	return writeFile(path, kindThreat, threatFile{
+		Name: s.Name, DT: s.DT, Threats: s.Threats, Weapons: s.Weapons,
+	})
+}
+
+// LoadThreatScenario reads a Threat Analysis scenario from path.
+func LoadThreatScenario(path string) (*threat.Scenario, error) {
+	var tf threatFile
+	if err := readFile(path, kindThreat, &tf); err != nil {
+		return nil, err
+	}
+	return &threat.Scenario{Name: tf.Name, DT: tf.DT, Threats: tf.Threats, Weapons: tf.Weapons}, nil
+}
+
+// terrainFile is the serialized form of a Terrain Masking scenario.
+type terrainFile struct {
+	Name    string
+	W, H    int
+	Elev    []float32
+	Threats []terrain.ThreatSite
+}
+
+// SaveTerrainScenario writes a Terrain Masking scenario to path.
+func SaveTerrainScenario(path string, s *terrain.Scenario) error {
+	return writeFile(path, kindTerrain, terrainFile{
+		Name: s.Name, W: s.Grid.W, H: s.Grid.H, Elev: s.Grid.Elev, Threats: s.Threats,
+	})
+}
+
+// LoadTerrainScenario reads a Terrain Masking scenario from path.
+func LoadTerrainScenario(path string) (*terrain.Scenario, error) {
+	var tf terrainFile
+	if err := readFile(path, kindTerrain, &tf); err != nil {
+		return nil, err
+	}
+	if len(tf.Elev) != tf.W*tf.H {
+		return nil, fmt.Errorf("data: %s: elevation length %d != %d×%d", path, len(tf.Elev), tf.W, tf.H)
+	}
+	return &terrain.Scenario{
+		Name:    tf.Name,
+		Grid:    &terrain.Grid{W: tf.W, H: tf.H, Elev: tf.Elev},
+		Threats: tf.Threats,
+	}, nil
+}
+
+// IntervalsChecksum reduces a Threat Analysis result to a stable checksum:
+// the intervals are canonically sorted first, so all solver variants
+// (including the nondeterministically-ordered fine-grained one) produce the
+// same value.
+func IntervalsChecksum(ivs []threat.Interval) uint64 {
+	sorted := make([]threat.Interval, len(ivs))
+	copy(sorted, ivs)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Threat != b.Threat {
+			return a.Threat < b.Threat
+		}
+		if a.Weapon != b.Weapon {
+			return a.Weapon < b.Weapon
+		}
+		if a.T1 != b.T1 {
+			return a.T1 < b.T1
+		}
+		return a.T2 < b.T2
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	put(len(sorted))
+	for _, iv := range sorted {
+		put(iv.Threat)
+		put(iv.Weapon)
+		put(iv.T1)
+		put(iv.T2)
+	}
+	return h.Sum64()
+}
+
+// MaskingChecksum reduces a Terrain Masking result to a stable checksum over
+// the float32 bit patterns (+Inf cells included, so coverage changes are
+// detected).
+func MaskingChecksum(m *terrain.Masking) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(m.W))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint32(buf[:], uint32(m.H))
+	h.Write(buf[:])
+	for _, v := range m.Vals {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Golden records the expected checksum for one scenario — the benchmark's
+// correctness test.
+type Golden struct {
+	Scenario string
+	Kind     string
+	Checksum uint64
+}
+
+// SaveGolden writes golden records to path (gob, same header scheme).
+func SaveGolden(path string, gs []Golden) error {
+	return writeFile(path, "golden", gs)
+}
+
+// LoadGolden reads golden records from path.
+func LoadGolden(path string) ([]Golden, error) {
+	var gs []Golden
+	if err := readFile(path, "golden", &gs); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// CheckGolden compares a computed checksum against the golden record for a
+// scenario, returning a descriptive error on mismatch or missing record.
+func CheckGolden(gs []Golden, scenario, kind string, checksum uint64) error {
+	for _, g := range gs {
+		if g.Scenario == scenario && g.Kind == kind {
+			if g.Checksum != checksum {
+				return fmt.Errorf("data: %s %s: checksum %016x, golden %016x — output is wrong",
+					kind, scenario, checksum, g.Checksum)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("data: no golden record for %s %s", kind, scenario)
+}

@@ -1,0 +1,187 @@
+package data
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/c3i/terrain"
+	"repro/internal/c3i/threat"
+	"repro/internal/machine"
+	"repro/internal/smp"
+)
+
+func TestThreatScenarioRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s1.c3i")
+	s := threat.GenScenario("rt", threat.GenParams{NumThreats: 25, NumWeapons: 8, Seed: 5})
+	if err := SaveThreatScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadThreatScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.DT != s.DT {
+		t.Errorf("metadata mismatch: %q %v", got.Name, got.DT)
+	}
+	if len(got.Threats) != len(s.Threats) || len(got.Weapons) != len(s.Weapons) {
+		t.Fatalf("count mismatch")
+	}
+	for i := range s.Threats {
+		if got.Threats[i] != s.Threats[i] {
+			t.Fatalf("threat %d differs after round trip", i)
+		}
+	}
+	for i := range s.Weapons {
+		if got.Weapons[i] != s.Weapons[i] {
+			t.Fatalf("weapon %d differs after round trip", i)
+		}
+	}
+}
+
+func TestTerrainScenarioRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t1.c3i")
+	s := terrain.GenScenario("rt", terrain.GenParams{Side: 200, NumThreats: 4, Radius: 30, Seed: 9})
+	if err := SaveTerrainScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTerrainScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid.W != s.Grid.W || got.Grid.H != s.Grid.H {
+		t.Fatalf("grid dims differ")
+	}
+	for i := range s.Grid.Elev {
+		if got.Grid.Elev[i] != s.Grid.Elev[i] {
+			t.Fatalf("elevation %d differs", i)
+		}
+	}
+	for i := range s.Threats {
+		if got.Threats[i] != s.Threats[i] {
+			t.Fatalf("site %d differs", i)
+		}
+	}
+}
+
+func TestLoadedScenarioSolvesIdentically(t *testing.T) {
+	// The serialized scenario must produce exactly the same benchmark output.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.c3i")
+	s := threat.GenScenario("eq", threat.GenParams{NumThreats: 20, NumWeapons: 6, Seed: 11})
+	if err := SaveThreatScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadThreatScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(sc *threat.Scenario) []threat.Interval {
+		var out *threat.Output
+		e := smp.New(smp.AlphaStation())
+		if _, err := e.Run("solve", func(th *machine.Thread) {
+			out = threat.Sequential(th, sc)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out.Intervals
+	}
+	if IntervalsChecksum(solve(s)) != IntervalsChecksum(solve(loaded)) {
+		t.Error("loaded scenario solves to a different checksum")
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.c3i")
+	s := threat.GenScenario("k", threat.GenParams{NumThreats: 5, NumWeapons: 2, Seed: 1})
+	if err := SaveThreatScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTerrainScenario(path); err == nil {
+		t.Error("loading a threat file as terrain did not fail")
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, []byte("not a scenario"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadThreatScenario(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+	if _, err := LoadThreatScenario(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestIntervalsChecksumOrderInsensitive(t *testing.T) {
+	a := []threat.Interval{{Threat: 0, Weapon: 1, T1: 5, T2: 9}, {Threat: 2, Weapon: 0, T1: 1, T2: 2}}
+	b := []threat.Interval{a[1], a[0]}
+	if IntervalsChecksum(a) != IntervalsChecksum(b) {
+		t.Error("checksum depends on order")
+	}
+	c := append([]threat.Interval{}, a...)
+	c[0].T2 = 10
+	if IntervalsChecksum(a) == IntervalsChecksum(c) {
+		t.Error("checksum missed a changed interval")
+	}
+	if IntervalsChecksum(a) == IntervalsChecksum(a[:1]) {
+		t.Error("checksum missed a dropped interval")
+	}
+}
+
+func TestMaskingChecksumSensitive(t *testing.T) {
+	g := &terrain.Grid{W: 10, H: 10, Elev: make([]float32, 100)}
+	a := terrain.NewMasking(g)
+	b := terrain.NewMasking(g)
+	if MaskingChecksum(a) != MaskingChecksum(b) {
+		t.Error("identical maskings differ")
+	}
+	b.Vals[55] = 123
+	if MaskingChecksum(a) == MaskingChecksum(b) {
+		t.Error("changed cell not detected")
+	}
+	// +Inf vs 0 must differ (coverage matters).
+	c := terrain.NewMasking(g)
+	c.Vals[0] = 0
+	if MaskingChecksum(a) == MaskingChecksum(c) {
+		t.Error("Inf→0 not detected")
+	}
+	if math.IsInf(float64(a.Vals[0]), 1) != true {
+		t.Error("fresh masking not +Inf")
+	}
+}
+
+func TestGoldenRoundTripAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "golden.c3i")
+	gs := []Golden{
+		{Scenario: "scenario-1", Kind: "threat-analysis", Checksum: 0xdeadbeef},
+		{Scenario: "scenario-1", Kind: "terrain-masking", Checksum: 0x1234},
+	}
+	if err := SaveGolden(path, gs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d records", len(loaded))
+	}
+	if err := CheckGolden(loaded, "scenario-1", "threat-analysis", 0xdeadbeef); err != nil {
+		t.Errorf("valid checksum rejected: %v", err)
+	}
+	if err := CheckGolden(loaded, "scenario-1", "threat-analysis", 0xbad); err == nil {
+		t.Error("wrong checksum accepted")
+	}
+	if err := CheckGolden(loaded, "scenario-9", "threat-analysis", 1); err == nil {
+		t.Error("missing record accepted")
+	}
+}

@@ -1,0 +1,268 @@
+// Package terrain implements the C3I Parallel Benchmark Suite Terrain
+// Masking problem: "computation of the maximum safe flight altitude over all
+// points in an uneven terrain containing ground-based threats."
+//
+// Inputs are (i) the ground elevation for all points in the terrain and
+// (ii) the position and range of a set of ground-based threats. The output
+// is, for every point, the maximum altitude at which an aircraft is
+// invisible to all threats. For a single threat, the masking altitude at a
+// point is the height of the sightline from the threat's sensor over the
+// highest interposing ridge — computed by propagating the maximum blocking
+// angle outward along rays from the threat (the paper: "the value at one
+// point is computed from the values at neighboring points"). The overall
+// result is the pointwise minimum over all threats, each of which influences
+// a region of roughly 5% of the terrain (the paper's figure).
+//
+// The package provides the paper's three program variants:
+//
+//   - Sequential: Program 3 — for each threat, save the masking region to a
+//     temp array, reset it, compute the threat's masking into it, and
+//     minimize the saved values back in (four passes over the region).
+//   - Coarse: Program 4 — a dynamic multithreaded loop over threats; each
+//     worker owns a private temp array (the memory-overhead drawback) and
+//     minimizes into the shared masking array under per-block locks
+//     (ten-by-ten blocking in the paper's runs).
+//   - Fine: the Tera version (developed by John Feo in the paper's
+//     acknowledgments) — threats processed in order, but the inner loops
+//     parallelized: the ray fan is split into sectors computed by parallel
+//     threads and the minimize pass is a parallel loop over rows. No locks
+//     are needed because the outer loop is sequential. Practical only where
+//     threads are nearly free.
+//
+// The original benchmark terrain is not redistributable; GenScenario builds
+// deterministic fractal terrain with the documented structure.
+package terrain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CellMeters is the ground distance represented by one grid cell.
+const CellMeters = 100.0
+
+// Grid is a row-major heightfield in meters.
+type Grid struct {
+	W, H int
+	Elev []float32
+}
+
+// At returns the elevation at (x, y). Callers must stay in bounds.
+func (g *Grid) At(x, y int) float32 { return g.Elev[y*g.W+x] }
+
+// Index returns the row-major index of (x, y).
+func (g *Grid) Index(x, y int) int { return y*g.W + x }
+
+// GenGrid builds fractal terrain by midpoint displacement on a 2^n+1 lattice
+// cropped to W×H, deterministic in seed. Elevations span roughly 0–1500 m.
+func GenGrid(w, h int, seed int64) *Grid {
+	n := 1
+	for n+1 < w || n+1 < h {
+		n *= 2
+	}
+	side := n + 1
+	f := make([]float64, side*side)
+	rng := rand.New(rand.NewSource(seed))
+
+	f[0] = rng.Float64() * 800
+	f[n] = rng.Float64() * 800
+	f[n*side] = rng.Float64() * 800
+	f[n*side+n] = rng.Float64() * 800
+	amp := 700.0
+	for step := n; step > 1; step /= 2 {
+		half := step / 2
+		// Diamond step.
+		for y := half; y < side; y += step {
+			for x := half; x < side; x += step {
+				avg := (f[(y-half)*side+x-half] + f[(y-half)*side+x+half] +
+					f[(y+half)*side+x-half] + f[(y+half)*side+x+half]) / 4
+				f[y*side+x] = avg + (rng.Float64()*2-1)*amp
+			}
+		}
+		// Square step.
+		for y := 0; y < side; y += half {
+			x0 := half
+			if (y/half)%2 == 1 {
+				x0 = 0
+			}
+			for x := x0; x < side; x += step {
+				var sum, cnt float64
+				if y-half >= 0 {
+					sum += f[(y-half)*side+x]
+					cnt++
+				}
+				if y+half < side {
+					sum += f[(y+half)*side+x]
+					cnt++
+				}
+				if x-half >= 0 {
+					sum += f[y*side+x-half]
+					cnt++
+				}
+				if x+half < side {
+					sum += f[y*side+x+half]
+					cnt++
+				}
+				f[y*side+x] = sum/cnt + (rng.Float64()*2-1)*amp
+			}
+		}
+		amp *= 0.55
+	}
+
+	g := &Grid{W: w, H: h, Elev: make([]float32, w*h)}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range f {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := 1500 / (hi - lo)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Elev[y*w+x] = float32((f[y*side+x] - lo) * scale)
+		}
+	}
+	return g
+}
+
+// ThreatSite is a ground-based threat: a sensor at (X, Y) with detection
+// radius R (in cells) and sensor height SensorZ (absolute meters).
+type ThreatSite struct {
+	ID      int
+	X, Y    int
+	R       int
+	SensorZ float64
+}
+
+// Scenario is one benchmark input: a terrain grid plus threat sites.
+type Scenario struct {
+	Name    string
+	Grid    *Grid
+	Threats []ThreatSite
+
+	// rayVisits memoizes per-threat, per-ray visit counts so that
+	// timing-only solver runs (Opt.ChargeOnly) can replay the machine
+	// charges without re-tracing rays. Populated by any full run or by Warm.
+	rayVisits map[int][]int
+}
+
+// rayCache returns the threat's per-ray visit cache, creating it (-1 =
+// unknown) on first use.
+func (s *Scenario) rayCache(site *ThreatSite) []int {
+	if s.rayVisits == nil {
+		s.rayVisits = make(map[int][]int)
+	}
+	rv, ok := s.rayVisits[site.ID]
+	if !ok {
+		rv = make([]int, NumRays(site.R))
+		for i := range rv {
+			rv[i] = -1
+		}
+		s.rayVisits[site.ID] = rv
+	}
+	return rv
+}
+
+// Warm populates every threat's ray-visit cache (tracing into a scratch
+// field), so subsequent ChargeOnly solver runs replay instantly.
+func (s *Scenario) Warm() {
+	var f *Field
+	for i := range s.Threats {
+		site := &s.Threats[i]
+		rv := s.rayCache(site)
+		if f == nil {
+			f = NewField(site)
+		} else {
+			f.X0, f.Y0 = site.X-site.R, site.Y-site.R
+			f.Reset()
+		}
+		for ray := range rv {
+			if rv[ray] < 0 {
+				rv[ray] = TraceRay(s.Grid, site, f, ray)
+			}
+		}
+	}
+}
+
+// ROICells returns the number of cells in one threat's region of influence.
+func ROICells(r int) int {
+	n := 0
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// GenParams controls scenario generation.
+type GenParams struct {
+	Side       int // terrain is Side×Side cells
+	NumThreats int
+	Radius     int // ROI radius in cells
+	Seed       int64
+}
+
+// Default scenario geometry: a 2380² grid with ROI radius 300 makes each
+// threat's region of influence ≈ π·300²/2380² ≈ 5.0% of the terrain — the
+// paper's figure — and a 30 km sensor radius at 100 m cells.
+const (
+	DefaultSide   = 2380
+	DefaultRadius = 300
+)
+
+// GenScenario builds a deterministic scenario. Threat sites keep a full ROI
+// margin from the terrain edge, as the benchmark terrain does.
+func GenScenario(name string, p GenParams) *Scenario {
+	if p.Side == 0 {
+		p.Side = DefaultSide
+	}
+	if p.Radius == 0 {
+		p.Radius = DefaultRadius
+	}
+	if p.Side <= 2*p.Radius+2 {
+		panic(fmt.Sprintf("terrain: side %d too small for radius %d", p.Side, p.Radius))
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := GenGrid(p.Side, p.Side, p.Seed^0x5eed)
+	s := &Scenario{Name: name, Grid: g}
+	for i := 0; i < p.NumThreats; i++ {
+		x := p.Radius + rng.Intn(p.Side-2*p.Radius)
+		y := p.Radius + rng.Intn(p.Side-2*p.Radius)
+		s.Threats = append(s.Threats, ThreatSite{
+			ID: i, X: x, Y: y, R: p.Radius,
+			SensorZ: float64(g.At(x, y)) + 15,
+		})
+	}
+	return s
+}
+
+// SuiteScale maps a scale factor onto generation parameters: the paper's
+// scenarios have 60 threats each; scale shrinks the threat count while the
+// terrain and ROI stay at full size so the memory-bound character (working
+// sets larger than every cache) is preserved at any scale.
+func SuiteScale(scale float64) GenParams {
+	n := int(math.Round(60 * scale))
+	if n < 3 {
+		n = 3
+	}
+	return GenParams{Side: DefaultSide, NumThreats: n, Radius: DefaultRadius}
+}
+
+// Suite returns the benchmark's five input scenarios at the given scale; the
+// benchmark time is the total over all five, as in the paper's tables.
+func Suite(scale float64) []*Scenario {
+	out := make([]*Scenario, 5)
+	for i := range out {
+		p := SuiteScale(scale)
+		p.Seed = int64(201 + i)
+		out[i] = GenScenario(fmt.Sprintf("scenario-%d", i+1), p)
+	}
+	return out
+}

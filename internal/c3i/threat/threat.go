@@ -1,0 +1,295 @@
+// Package threat implements the C3I Parallel Benchmark Suite Threat
+// Analysis problem: "a time-stepped simulation of the trajectories of
+// incoming ballistic threats, with computation of options for intercepting
+// the threats."
+//
+// Inputs are (i) the trajectories of a set of incoming threats and (ii) the
+// locations and capabilities of a set of weapons. For each (threat, weapon)
+// pair the program computes the time intervals over which the threat can be
+// intercepted by the weapon, exactly as in the paper's Program 1: scanning
+// time steps from the threat's detection time to its impact time and
+// emitting (threat, weapon, [t1..t2]) tuples for each maximal feasible run.
+// A pair can contribute zero, one, or several intervals (the threat crosses
+// the weapon's altitude band and range ring more than once).
+//
+// The package provides the three program variants studied in the paper:
+//
+//   - Sequential: Program 1, the original single-threaded structure with
+//     one shared num_intervals counter and intervals array.
+//   - Chunked: Program 2, the manual parallelization — a multithreaded loop
+//     over chunks of threats, each chunk with its own oversized intervals
+//     array (deterministic; the memory-overhead drawback is reported).
+//   - FineGrained: the paper's "alternative approach" — parallel over all
+//     threats with a single shared array guarded by an atomic fetch-and-add
+//     on a synchronization variable, giving nondeterministic result order.
+//     Viable on the Tera MTA, not on the conventional platforms.
+//
+// The original benchmark inputs are not redistributable; GenScenario builds
+// deterministic synthetic scenarios with the same counts (1000 threats, 25
+// weapons per scenario at scale 1) and the same statistical structure.
+package threat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gravity is the constant downward acceleration applied to threats, m/s².
+const Gravity = 9.8
+
+// Vec3 is a position or velocity in meters / meters per second.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Dot returns the dot product.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Norm returns the Euclidean length.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Threat is one incoming ballistic object. Trajectories are purely
+// ballistic: position(t) = Launch + Vel·t + ½·g·t² (g downward), from launch
+// (t=0) until impact (z returns to 0).
+type Threat struct {
+	ID     int
+	Launch Vec3    // launch position, Z = 0
+	Vel    Vec3    // launch velocity; Vel.Z > 0
+	Detect float64 // seconds after launch at which the threat is detected
+}
+
+// Position returns the threat position t seconds after launch.
+func (th *Threat) Position(t float64) Vec3 {
+	return Vec3{
+		X: th.Launch.X + th.Vel.X*t,
+		Y: th.Launch.Y + th.Vel.Y*t,
+		Z: th.Launch.Z + th.Vel.Z*t - 0.5*Gravity*t*t,
+	}
+}
+
+// ImpactTime returns the time at which the threat returns to z = 0.
+func (th *Threat) ImpactTime() float64 {
+	return 2 * th.Vel.Z / Gravity
+}
+
+// Weapon is a ground-based interceptor site.
+type Weapon struct {
+	ID       int
+	Pos      Vec3    // site position, Z = 0
+	MinRange float64 // slant range envelope, meters
+	MaxRange float64
+	MinAlt   float64 // engageable threat altitude window, meters
+	MaxAlt   float64
+	Speed    float64 // interceptor fly-out speed, m/s
+	Ready    float64 // earliest launch time, seconds
+}
+
+// CanIntercept reports whether the weapon can intercept the threat at
+// absolute time t (seconds after threat launch): the threat must be within
+// the weapon's altitude window and range envelope, the weapon must be ready,
+// and an interceptor launched after detection must be able to fly out to the
+// threat's position by t.
+func (w *Weapon) CanIntercept(th *Threat, t float64) bool {
+	if t < th.Detect || t < w.Ready {
+		return false
+	}
+	p := th.Position(t)
+	if p.Z < w.MinAlt || p.Z > w.MaxAlt {
+		return false
+	}
+	d := p.Sub(w.Pos)
+	d2 := d.Dot(d)
+	if d2 < w.MinRange*w.MinRange || d2 > w.MaxRange*w.MaxRange {
+		return false
+	}
+	reach := w.Speed * (t - th.Detect)
+	return d2 <= reach*reach
+}
+
+// Interval records that threat Threat can be intercepted by weapon Weapon
+// over time steps [T1, T2] (inclusive, in scenario step units).
+type Interval struct {
+	Threat, Weapon int
+	T1, T2         int
+}
+
+// Scenario is one benchmark input: a set of threats and weapons plus the
+// simulation time step.
+type Scenario struct {
+	Name    string
+	DT      float64 // seconds per simulation step
+	Threats []Threat
+	Weapons []Weapon
+
+	// winCache memoizes each pair's interception windows so repeated solver
+	// runs over the same scenario (different machines, chunk counts, …)
+	// do not redo the time-stepped scan. Keyed by ti*len(Weapons)+wi.
+	winCache map[int][][2]int
+}
+
+// StepTime converts a step index to seconds.
+func (s *Scenario) StepTime(k int) float64 { return float64(k) * s.DT }
+
+// DetectStep returns the first step at or after the threat's detection time.
+func (s *Scenario) DetectStep(th *Threat) int {
+	return int(math.Ceil(th.Detect / s.DT))
+}
+
+// ImpactStep returns the last step at or before the threat's impact time.
+func (s *Scenario) ImpactStep(th *Threat) int {
+	return int(math.Floor(th.ImpactTime() / s.DT))
+}
+
+// PairSteps returns the number of simulation steps scanned for one
+// (threat, weapon) pair: detection through impact.
+func (s *Scenario) PairSteps(th *Threat) int {
+	n := s.ImpactStep(th) - s.DetectStep(th) + 1
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// TotalSteps returns the total steps scanned over all pairs — the benchmark
+// work metric.
+func (s *Scenario) TotalSteps() int64 {
+	var total int64
+	for i := range s.Threats {
+		total += int64(s.PairSteps(&s.Threats[i])) * int64(len(s.Weapons))
+	}
+	return total
+}
+
+// CachedPairIntervals is PairIntervals memoized per scenario: the first call
+// for a pair performs the scan, later calls replay the windows. The solver
+// variants all charge the scan's full cost to their machine regardless; the
+// cache only avoids repeating identical Go-side computation across runs.
+func (s *Scenario) CachedPairIntervals(ti, wi int, emit func(t1, t2 int)) {
+	key := ti*len(s.Weapons) + wi
+	if s.winCache == nil {
+		s.winCache = make(map[int][][2]int)
+	}
+	wins, ok := s.winCache[key]
+	if !ok {
+		s.PairIntervals(&s.Threats[ti], &s.Weapons[wi], func(t1, t2 int) {
+			wins = append(wins, [2]int{t1, t2})
+		})
+		s.winCache[key] = wins
+	}
+	for _, w := range wins {
+		emit(w[0], w[1])
+	}
+}
+
+// PairIntervals scans the pair's feasible time steps and calls emit for each
+// maximal feasible run [t1, t2] — the uncharged computational core shared by
+// every solver variant. The scan is exactly Program 1's structure: t0 starts
+// at detection; each found window advances t0 past its end.
+func (s *Scenario) PairIntervals(th *Threat, w *Weapon, emit func(t1, t2 int)) {
+	lo, hi := s.DetectStep(th), s.ImpactStep(th)
+	runStart := -1
+	for k := lo; k <= hi; k++ {
+		if w.CanIntercept(th, s.StepTime(k)) {
+			if runStart < 0 {
+				runStart = k
+			}
+		} else if runStart >= 0 {
+			emit(runStart, k-1)
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		emit(runStart, hi)
+	}
+}
+
+// GenParams controls synthetic scenario generation.
+type GenParams struct {
+	NumThreats int
+	NumWeapons int
+	DT         float64 // simulation step, seconds
+	Seed       int64
+}
+
+// DefaultDT is the simulation time step in seconds. With launch velocities
+// of 1.1–2.4 km/s the typical flight is 220–490 s, giving the ~1500 steps
+// per (threat, weapon) pair assumed by the cost calibration in costs.go.
+const DefaultDT = 0.25
+
+// GenScenario builds a deterministic synthetic scenario: threats are
+// ballistic arcs aimed into a 200×200 km defended area ringed by the weapon
+// sites they must overfly.
+func GenScenario(name string, p GenParams) *Scenario {
+	if p.DT == 0 {
+		p.DT = DefaultDT
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	s := &Scenario{Name: name, DT: p.DT}
+
+	const areaKM = 200e3 // defended area side, meters
+
+	for i := 0; i < p.NumWeapons; i++ {
+		s.Weapons = append(s.Weapons, Weapon{
+			ID:       i,
+			Pos:      Vec3{rng.Float64() * areaKM, rng.Float64() * areaKM, 0},
+			MinRange: 5e3 + rng.Float64()*15e3,
+			MaxRange: 40e3 + rng.Float64()*50e3,
+			MinAlt:   1e3 + rng.Float64()*2e3,
+			MaxAlt:   25e3 + rng.Float64()*35e3,
+			Speed:    800 + rng.Float64()*1200,
+			Ready:    rng.Float64() * 60,
+		})
+	}
+
+	for i := 0; i < p.NumThreats; i++ {
+		// Aim point inside the defended area; launch from 300–600 km out.
+		target := Vec3{rng.Float64() * areaKM, rng.Float64() * areaKM, 0}
+		bearing := rng.Float64() * 2 * math.Pi
+		dist := 300e3 + rng.Float64()*300e3
+		launch := Vec3{
+			X: target.X + dist*math.Cos(bearing),
+			Y: target.Y + dist*math.Sin(bearing),
+			Z: 0,
+		}
+		vz := 1100 + rng.Float64()*1300
+		flight := 2 * vz / Gravity
+		vel := Vec3{
+			X: (target.X - launch.X) / flight,
+			Y: (target.Y - launch.Y) / flight,
+			Z: vz,
+		}
+		s.Threats = append(s.Threats, Threat{
+			ID:     i,
+			Launch: launch,
+			Vel:    vel,
+			Detect: 5 + rng.Float64()*35,
+		})
+	}
+	return s
+}
+
+// SuiteScale describes how a scale factor maps onto scenario sizes: the
+// paper's benchmark has 1000 threats and (per the C3IPBS definition) a small
+// fixed battery of weapons per scenario; scale shrinks the threat count.
+func SuiteScale(scale float64) GenParams {
+	n := int(math.Round(1000 * scale))
+	if n < 4 {
+		n = 4
+	}
+	return GenParams{NumThreats: n, NumWeapons: 25, DT: DefaultDT}
+}
+
+// Suite returns the benchmark's five input scenarios at the given scale
+// (scale 1 ≈ the paper's workload; the benchmark time is the total over all
+// five, as in every table of the paper).
+func Suite(scale float64) []*Scenario {
+	out := make([]*Scenario, 5)
+	for i := range out {
+		p := SuiteScale(scale)
+		p.Seed = int64(101 + i)
+		out[i] = GenScenario(fmt.Sprintf("scenario-%d", i+1), p)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package threat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sortIntervals orders intervals by (threat, weapon, t1, t2) — the canonical
+// order for comparing variant outputs whose emission order differs.
+func sortIntervals(ivs []Interval) []Interval {
+	out := make([]Interval, len(ivs))
+	copy(out, ivs)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Threat != b.Threat {
+			return a.Threat < b.Threat
+		}
+		if a.Weapon != b.Weapon {
+			return a.Weapon < b.Weapon
+		}
+		if a.T1 != b.T1 {
+			return a.T1 < b.T1
+		}
+		return a.T2 < b.T2
+	})
+	return out
+}
+
+// Verify checks that got and want contain exactly the same interval set,
+// irrespective of order (the fine-grained variant's order is
+// nondeterministic). It is the benchmark's correctness test.
+func Verify(got, want []Interval) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("threat: interval count mismatch: got %d, want %d", len(got), len(want))
+	}
+	g, w := sortIntervals(got), sortIntervals(want)
+	for i := range g {
+		if g[i] != w[i] {
+			return fmt.Errorf("threat: interval %d mismatch: got %+v, want %+v", i, g[i], w[i])
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants every correct solver output must
+// satisfy against its scenario: indices in range, windows inside the
+// detection-to-impact span, feasibility exactly at the window boundaries and
+// infeasibility just outside them, and per-pair windows disjoint and sorted.
+func Validate(s *Scenario, ivs []Interval) error {
+	byPair := map[[2]int][]Interval{}
+	for _, iv := range ivs {
+		if iv.Threat < 0 || iv.Threat >= len(s.Threats) {
+			return fmt.Errorf("threat: interval references threat %d of %d", iv.Threat, len(s.Threats))
+		}
+		if iv.Weapon < 0 || iv.Weapon >= len(s.Weapons) {
+			return fmt.Errorf("threat: interval references weapon %d of %d", iv.Weapon, len(s.Weapons))
+		}
+		if iv.T1 > iv.T2 {
+			return fmt.Errorf("threat: empty interval %+v", iv)
+		}
+		th, w := &s.Threats[iv.Threat], &s.Weapons[iv.Weapon]
+		if iv.T1 < s.DetectStep(th) || iv.T2 > s.ImpactStep(th) {
+			return fmt.Errorf("threat: interval %+v outside detect..impact [%d, %d]",
+				iv, s.DetectStep(th), s.ImpactStep(th))
+		}
+		// Boundary exactness.
+		if !w.CanIntercept(th, s.StepTime(iv.T1)) || !w.CanIntercept(th, s.StepTime(iv.T2)) {
+			return fmt.Errorf("threat: interval %+v endpoints not feasible", iv)
+		}
+		if w.CanIntercept(th, s.StepTime(iv.T1-1)) {
+			return fmt.Errorf("threat: interval %+v not maximal at start", iv)
+		}
+		if iv.T2+1 <= s.ImpactStep(th) && w.CanIntercept(th, s.StepTime(iv.T2+1)) {
+			return fmt.Errorf("threat: interval %+v not maximal at end", iv)
+		}
+		byPair[[2]int{iv.Threat, iv.Weapon}] = append(byPair[[2]int{iv.Threat, iv.Weapon}], iv)
+	}
+	for pair, list := range byPair {
+		sort.Slice(list, func(i, j int) bool { return list[i].T1 < list[j].T1 })
+		if len(list) > maxWindowsPerPair {
+			return fmt.Errorf("threat: pair %v has %d windows, max %d", pair, len(list), maxWindowsPerPair)
+		}
+		for i := 1; i < len(list); i++ {
+			if list[i].T1 <= list[i-1].T2+1 {
+				return fmt.Errorf("threat: pair %v windows overlap or touch: %+v then %+v",
+					pair, list[i-1], list[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package cache models a per-processor data cache at granule granularity.
+//
+// A full line-accurate cache simulation would require one event per memory
+// reference, which is far too slow for benchmark-length runs. Instead the
+// model tracks residency of fixed-size granules (a few KB) under LRU and
+// prices strided bursts analytically:
+//
+//   - every reference that falls in a resident granule is a hit;
+//   - a burst touching a non-resident granule pays one miss per cache line
+//     it touches inside that granule (spatial locality within the burst),
+//     and the remaining references in the granule hit;
+//   - the touched granule becomes resident, evicting the LRU granule if the
+//     cache is full.
+//
+// This captures the two behaviours the paper's results hinge on: working
+// sets that fit (Threat Analysis threads run "mostly within cache" and scale
+// linearly) and streaming working sets that do not (Terrain Masking is
+// memory-bound and saturates the shared bus).
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Cache is a granule-granular LRU cache model. Not safe for concurrent use;
+// in the simulator each cache belongs to one processor and all access is
+// serialized by the simulation kernel.
+type Cache struct {
+	granule  uint64 // bytes per residency granule
+	line     uint64 // bytes per miss-transfer line
+	capacity int    // granules
+
+	lru     *list.List               // front = most recent; values are granule ids
+	entries map[uint64]*list.Element // granule id -> lru node
+
+	hits, misses int64
+}
+
+// New creates a cache of sizeBytes with the given line and granule sizes.
+// Granule must be a multiple of line; size must hold at least one granule.
+func New(sizeBytes, lineBytes, granuleBytes uint64) *Cache {
+	if lineBytes == 0 || granuleBytes == 0 || granuleBytes%lineBytes != 0 {
+		panic(fmt.Sprintf("cache: bad geometry line=%d granule=%d", lineBytes, granuleBytes))
+	}
+	capGr := int(sizeBytes / granuleBytes)
+	if capGr < 1 {
+		panic(fmt.Sprintf("cache: size %d smaller than one granule %d", sizeBytes, granuleBytes))
+	}
+	return &Cache{
+		granule:  granuleBytes,
+		line:     lineBytes,
+		capacity: capGr,
+		lru:      list.New(),
+		entries:  make(map[uint64]*list.Element),
+	}
+}
+
+// SizeBytes returns the modeled capacity in bytes.
+func (c *Cache) SizeBytes() uint64 { return uint64(c.capacity) * c.granule }
+
+// LineBytes returns the miss-transfer unit.
+func (c *Cache) LineBytes() uint64 { return c.line }
+
+// Hits returns cumulative hit count.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns cumulative miss count.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Flush empties the cache (used between benchmark scenarios).
+func (c *Cache) Flush() {
+	c.lru.Init()
+	c.entries = make(map[uint64]*list.Element)
+}
+
+// touch marks granule g resident and most-recently-used, reporting whether
+// it was already resident.
+func (c *Cache) touch(g uint64) bool {
+	if e, ok := c.entries[g]; ok {
+		c.lru.MoveToFront(e)
+		return true
+	}
+	if c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(uint64))
+		c.lru.Remove(back)
+	}
+	c.entries[g] = c.lru.PushFront(g)
+	return false
+}
+
+// Access models a single reference, returning true on hit. A miss on a
+// non-resident granule counts as exactly one line miss.
+func (c *Cache) Access(a mem.Addr) bool {
+	if c.touch(uint64(a) / c.granule) {
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// AccessBurst models a strided burst, returning the hit/miss split. The sum
+// hits+misses equals b.N. Misses are in units of line transfers; a burst
+// with stride smaller than the line size therefore misses on only a fraction
+// of its references.
+func (c *Cache) AccessBurst(b mem.Burst) (hits, misses int64) {
+	b.Validate()
+	if b.N == 0 {
+		return 0, 0
+	}
+	start := uint64(b.Start())
+	if b.Stride == 0 {
+		// n references to one address: at most one line miss.
+		if c.touch(start / c.granule) {
+			hits = int64(b.N)
+		} else {
+			misses = 1
+			hits = int64(b.N) - 1
+		}
+		c.hits += hits
+		c.misses += misses
+		return hits, misses
+	}
+
+	last := start + uint64(b.N-1)*b.Stride
+	gFirst := start / c.granule
+	gLast := last / c.granule
+	for g := gFirst; g <= gLast; g++ {
+		lo, hi := uint64(g)*c.granule, uint64(g+1)*c.granule
+		// indices i with start + i*stride in [lo, hi)
+		var iLo uint64
+		if lo > start {
+			iLo = (lo - start + b.Stride - 1) / b.Stride
+		}
+		iHi := (hi - 1 - start) / b.Stride // last index touching this granule
+		if iHi >= uint64(b.N) {
+			iHi = uint64(b.N) - 1
+		}
+		if iLo > iHi {
+			continue
+		}
+		refs := int64(iHi - iLo + 1)
+		if c.touch(g) {
+			hits += refs
+			continue
+		}
+		// Non-resident granule: one miss per distinct line touched.
+		var lines int64
+		if b.Stride >= c.line {
+			lines = refs
+		} else {
+			spanInGranule := (iHi-iLo)*b.Stride + b.ElemSize()
+			lines = int64((spanInGranule + c.line - 1) / c.line)
+			if lines > refs {
+				lines = refs
+			}
+		}
+		misses += lines
+		hits += refs - lines
+	}
+	c.hits += hits
+	c.misses += misses
+	return hits, misses
+}

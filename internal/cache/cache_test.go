@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func newTestSpace(size uint64) (*mem.Space, *mem.Region) {
+	s := mem.NewSpace()
+	return s, s.Alloc("data", size)
+}
+
+func TestColdStreamMissesPerLine(t *testing.T) {
+	// Sequential 8-byte reads over 4KB with 32-byte lines: 4096/32 = 128
+	// line misses, rest hits.
+	c := New(64*1024, 32, 1024)
+	_, r := newTestSpace(4096)
+	hits, misses := c.AccessBurst(mem.ReadBurst(r, 0, 8, 512))
+	if misses != 128 {
+		t.Errorf("misses = %d, want 128", misses)
+	}
+	if hits != 512-128 {
+		t.Errorf("hits = %d, want %d", hits, 512-128)
+	}
+}
+
+func TestWarmReuseHitsWhenFits(t *testing.T) {
+	c := New(64*1024, 32, 1024)
+	_, r := newTestSpace(16 * 1024)
+	c.AccessBurst(mem.ReadBurst(r, 0, 8, 2048)) // warm
+	hits, misses := c.AccessBurst(mem.ReadBurst(r, 0, 8, 2048))
+	if misses != 0 {
+		t.Errorf("second pass misses = %d, want 0 (fits in cache)", misses)
+	}
+	if hits != 2048 {
+		t.Errorf("second pass hits = %d, want 2048", hits)
+	}
+}
+
+func TestStreamingLargerThanCacheNeverHitsAcrossPasses(t *testing.T) {
+	// Region 4x the cache: a second full pass must miss again (LRU evicted
+	// everything).
+	c := New(16*1024, 32, 1024)
+	_, r := newTestSpace(64 * 1024)
+	n := 64 * 1024 / 8
+	_, m1 := c.AccessBurst(mem.ReadBurst(r, 0, 8, n))
+	_, m2 := c.AccessBurst(mem.ReadBurst(r, 0, 8, n))
+	if m1 != int64(64*1024/32) {
+		t.Errorf("first pass misses = %d, want %d", m1, 64*1024/32)
+	}
+	if m2 != m1 {
+		t.Errorf("second pass misses = %d, want %d (no reuse when streaming)", m2, m1)
+	}
+}
+
+func TestSingleAccessHitMiss(t *testing.T) {
+	c := New(8*1024, 32, 1024)
+	_, r := newTestSpace(1024)
+	if c.Access(r.Addr(0)) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(r.Addr(512)) {
+		t.Error("same-granule access missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("counters = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestZeroStrideBurst(t *testing.T) {
+	c := New(8*1024, 32, 1024)
+	_, r := newTestSpace(1024)
+	hits, misses := c.AccessBurst(mem.Burst{Region: r, Offset: 0, Stride: 0, Elem: 8, N: 100})
+	if misses != 1 || hits != 99 {
+		t.Errorf("= %d hits %d misses, want 99/1", hits, misses)
+	}
+	hits, misses = c.AccessBurst(mem.Burst{Region: r, Offset: 0, Stride: 0, Elem: 8, N: 100})
+	if misses != 0 || hits != 100 {
+		t.Errorf("warm = %d hits %d misses, want 100/0", hits, misses)
+	}
+}
+
+func TestWideStrideEveryRefMisses(t *testing.T) {
+	// Stride 2KB > granule 1KB: every reference hits a distinct cold granule.
+	c := New(256*1024, 32, 1024)
+	_, r := newTestSpace(128 * 1024)
+	hits, misses := c.AccessBurst(mem.Burst{Region: r, Offset: 0, Stride: 2048, Elem: 8, N: 60})
+	if misses != 60 || hits != 0 {
+		t.Errorf("= %d hits %d misses, want 0/60", hits, misses)
+	}
+}
+
+func TestEmptyBurst(t *testing.T) {
+	c := New(8*1024, 32, 1024)
+	_, r := newTestSpace(64)
+	hits, misses := c.AccessBurst(mem.Burst{Region: r, N: 0})
+	if hits != 0 || misses != 0 {
+		t.Errorf("empty burst = %d/%d", hits, misses)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(8*1024, 32, 1024)
+	_, r := newTestSpace(1024)
+	c.Access(r.Addr(0))
+	c.Flush()
+	if c.Access(r.Addr(0)) {
+		t.Error("hit after flush")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Capacity 2 granules. Touch g0, g1, then g2 evicts g0 (LRU), so g1
+	// still hits and g0 misses.
+	c := New(2*1024, 32, 1024)
+	_, r := newTestSpace(8 * 1024)
+	c.Access(r.Addr(0))        // g0
+	c.Access(r.Addr(1024))     // g1
+	c.Access(r.Addr(2 * 1024)) // g2, evicts g0
+	if !c.Access(r.Addr(1024)) {
+		t.Error("g1 should still be resident")
+	}
+	if c.Access(r.Addr(0)) {
+		t.Error("g0 should have been evicted")
+	}
+}
+
+func TestLRUTouchRefreshes(t *testing.T) {
+	c := New(2*1024, 32, 1024)
+	_, r := newTestSpace(8 * 1024)
+	c.Access(r.Addr(0))        // g0
+	c.Access(r.Addr(1024))     // g1
+	c.Access(r.Addr(0))        // refresh g0
+	c.Access(r.Addr(2 * 1024)) // evicts g1 (now LRU)
+	if !c.Access(r.Addr(0)) {
+		t.Error("refreshed g0 was evicted")
+	}
+	if c.Access(r.Addr(1024)) {
+		t.Error("g1 should have been evicted")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, bad := range []struct{ size, line, granule uint64 }{
+		{1024, 0, 512},
+		{1024, 32, 0},
+		{1024, 48, 1024}, // granule not multiple of line
+		{100, 32, 1024},  // smaller than one granule
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,%d) did not panic", bad.size, bad.line, bad.granule)
+				}
+			}()
+			New(bad.size, bad.line, bad.granule)
+		}()
+	}
+}
+
+// Property: hits+misses always equals the burst reference count, and misses
+// never exceeds references.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(uint64(1+rng.Intn(64))*1024, 32, 1024)
+		_, r := newTestSpace(1 << 20)
+		for iter := 0; iter < 20; iter++ {
+			n := rng.Intn(500)
+			stride := uint64(rng.Intn(100))
+			maxOff := uint64(1<<20) - 1
+			var span uint64
+			if n > 0 {
+				span = uint64(n-1)*stride + 8
+			}
+			if span >= maxOff {
+				continue
+			}
+			off := uint64(rng.Intn(int(maxOff - span)))
+			b := mem.Burst{Region: r, Offset: off, Stride: stride, Elem: 8, N: n}
+			hits, misses := c.AccessBurst(b)
+			if hits+misses != int64(n) || misses < 0 || hits < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: immediately repeating a burst that fits within the cache yields
+// zero misses on the repeat.
+func TestPropertyRepeatFittingBurstHits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(64*1024, 32, 1024)
+		_, r := newTestSpace(32 * 1024) // half the cache
+		n := 1 + rng.Intn(1000)
+		stride := uint64(8)
+		if uint64(n)*stride > 32*1024 {
+			n = 32 * 1024 / 8
+		}
+		b := mem.ReadBurst(r, 0, stride, n)
+		c.AccessBurst(b)
+		_, misses := c.AccessBurst(b)
+		return misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

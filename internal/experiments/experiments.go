@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables 2–12, Figures 1–4), plus the ablations DESIGN.md calls
+// out. Each experiment runs the real benchmark programs through the machine
+// models and reports the model's numbers side by side with the paper's.
+//
+// Workloads run at a configurable scale (fraction of the paper's threat
+// counts); reported model times are normalized back to scale 1, so they are
+// directly comparable with the paper columns. Comparisons are about shape —
+// who wins, by what factor, where the curves bend — not absolute seconds;
+// EXPERIMENTS.md records both for every table.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/c3i/terrain"
+	"repro/internal/c3i/threat"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// Config controls workload sizes for one experiment run.
+type Config struct {
+	ScaleTA float64 // fraction of the paper's 1000 threats/scenario
+	ScaleTM float64 // fraction of the paper's 60 threats/scenario
+}
+
+// DefaultConfig balances fidelity (enough threats for the paper's
+// load-balancing granularity effects) against wall-clock time.
+func DefaultConfig() Config {
+	return Config{ScaleTA: 0.25, ScaleTM: 0.5}
+}
+
+// Result is an experiment's rendered output.
+type Result struct {
+	Tables  []*report.Table
+	Figures []*report.Figure
+	Text    string
+}
+
+// Experiment is one reproducible unit: a paper table/figure or an ablation.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Result, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Platforms used in the performance comparison", runTable1},
+		{"table2", "Sequential Threat Analysis without parallelization", runTable2},
+		{"table3", "Multithreaded Threat Analysis on quad-processor Pentium Pro (+ Figure 1)", runTable3},
+		{"table4", "Multithreaded Threat Analysis on 16-processor Exemplar (+ Figure 2)", runTable4},
+		{"table5", "Multithreaded Threat Analysis on dual-processor Tera MTA", runTable5},
+		{"table6", "Threat Analysis vs number of chunks on Tera MTA", runTable6},
+		{"table7", "Performance comparison for Threat Analysis", runTable7},
+		{"table8", "Sequential Terrain Masking without parallelization", runTable8},
+		{"table9", "Coarse-grained Terrain Masking on quad-processor Pentium Pro (+ Figure 3)", runTable9},
+		{"table10", "Coarse-grained Terrain Masking on 16-processor Exemplar (+ Figure 4)", runTable10},
+		{"table11", "Fine-grained Terrain Masking on dual-processor Tera MTA", runTable11},
+		{"table12", "Performance comparison for Terrain Masking", runTable12},
+		{"autopar", "Automatic parallelization verdicts for Programs 1–4", runAutopar},
+		{"ablation-streams", "MTA utilization and time vs thread count (single processor)", runAblationStreams},
+		{"ablation-latency", "MTA exposed-memory-latency ablation (lookahead/dependence)", runAblationLatency},
+		{"ablation-network", "Two-processor MTA speedup vs network maturity", runAblationNetwork},
+		{"ablation-blocking", "Terrain Masking lock-blocking factor on the Exemplar", runAblationBlocking},
+		{"ablation-finegrain-smp", "Fine-grained styles on conventional SMP vs the MTA", runAblationFineGrainSMP},
+		{"projection-scaling", "Projected MTA scaling to many processors (the paper's future work)", runProjectionScaling},
+	}
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// --- Workload caches -------------------------------------------------------
+
+var (
+	cacheMu  sync.Mutex
+	taSuites = map[float64][]*threat.Scenario{}
+	tmSuites = map[float64][]*terrain.Scenario{}
+	runCache = map[string]machine.Result{}
+)
+
+// taSuite returns the (memoized) Threat Analysis suite at a scale.
+func taSuite(scale float64) []*threat.Scenario {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if s, ok := taSuites[scale]; ok {
+		return s
+	}
+	s := threat.Suite(scale)
+	taSuites[scale] = s
+	return s
+}
+
+// tmSuite returns the (memoized, pre-warmed) Terrain Masking suite.
+func tmSuite(scale float64) []*terrain.Scenario {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if s, ok := tmSuites[scale]; ok {
+		return s
+	}
+	s := terrain.Suite(scale)
+	for _, sc := range s {
+		sc.Warm()
+	}
+	tmSuites[scale] = s
+	return s
+}
+
+// taNorm converts measured suite seconds to paper-scale seconds.
+func taNorm(suite []*threat.Scenario) float64 {
+	return 1000 / float64(len(suite[0].Threats))
+}
+
+// tmNorm converts measured suite seconds to paper-scale seconds.
+func tmNorm(suite []*terrain.Scenario) float64 {
+	return 60 / float64(len(suite[0].Threats))
+}
+
+// runOnce executes run on a fresh engine built by newEngine and memoizes the
+// result under key (experiments share cells, e.g. the summary tables).
+func runOnce(key string, newEngine func() *machine.Engine, run func(t *machine.Thread)) (machine.Result, error) {
+	cacheMu.Lock()
+	if r, ok := runCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	e := newEngine()
+	res, err := e.Run(key, run)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("%s: %w", key, err)
+	}
+	cacheMu.Lock()
+	runCache[key] = res
+	cacheMu.Unlock()
+	return res, nil
+}
+
+// ResetCaches drops all memoized workloads and results (tests use this to
+// control memory).
+func ResetCaches() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	taSuites = map[float64][]*threat.Scenario{}
+	tmSuites = map[float64][]*terrain.Scenario{}
+	runCache = map[string]machine.Result{}
+}
+
+// sortedKeys returns the sorted keys of an int-keyed map.
+func sortedKeys(m map[int]float64) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Integration tests: every qualitative finding of the paper must hold in the
+// model at reduced workload scale. These run the full pipeline (benchmark
+// programs through machine models), so they are the repository's
+// end-to-end checks.
+
+var testCfg = Config{ScaleTA: 0.1, ScaleTM: 0.1}
+
+func TestSequentialTAOrdering(t *testing.T) {
+	// Paper Table 2: Alpha < Exemplar < Pentium Pro ≪ Tera.
+	alpha, err := taSeq(testCfg, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppro, err := taSeq(testCfg, "ppro", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exem, err := taSeq(testCfg, "exemplar", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tera, err := taSeq(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(alpha < exem && exem < ppro && ppro < tera) {
+		t.Errorf("ordering wrong: alpha=%.0f exemplar=%.0f ppro=%.0f tera=%.0f", alpha, exem, ppro, tera)
+	}
+	if r := tera / alpha; r < 8 || r > 20 {
+		t.Errorf("tera/alpha = %.1f, want ≈ 14 (paper: roughly 14 times slower)", r)
+	}
+}
+
+func TestTAExemplarScalesNearLinearly(t *testing.T) {
+	// Paper Table 4: 15.4-fold speedup on 16 processors.
+	seq, err := taSeq(testCfg, "exemplar", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := taChunked(testCfg, "exemplar", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := seq / par; s < 11 || s > 16.5 {
+		t.Errorf("16-proc speedup = %.1f, want ≈ 14-15.5", s)
+	}
+}
+
+func TestTATeraChunkSweepShape(t *testing.T) {
+	// Paper Table 6: time falls with chunk count and flattens by 128.
+	var prev float64
+	times := map[int]float64{}
+	for _, chunks := range []int{8, 16, 32, 64, 128, 256} {
+		sec, _, err := taChunked(testCfg, "tera", 2, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[chunks] = sec
+		if prev > 0 && sec > prev*1.08 {
+			t.Errorf("chunk sweep not non-increasing: %d chunks %.1f s after %.1f s", chunks, sec, prev)
+		}
+		prev = sec
+	}
+	if f := times[128] / times[256]; f < 0.85 || f > 1.2 {
+		t.Errorf("128 vs 256 chunks = %.2f, want ≈ flat", f)
+	}
+	if f := times[8] / times[128]; f < 4 || f > 12 {
+		t.Errorf("8 vs 128 chunks = %.1fx, want ≈ 8x (the machine needs hundreds of threads)", f)
+	}
+}
+
+func TestTATeraMultithreadedVsSequential(t *testing.T) {
+	// Paper: "The multithreaded program runs dramatically faster (32 times
+	// faster on one processor) than the sequential program on the Tera MTA."
+	seq, err := taSeq(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := taChunked(testCfg, "tera", 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := seq / par; f < 20 || f > 40 {
+		t.Errorf("tera multithreaded speedup = %.1f, want ≈ 30", f)
+	}
+}
+
+func TestTATeraTwoProcSpeedup(t *testing.T) {
+	// Paper Table 5: 1.8 on two processors.
+	one, _, err := taChunked(testCfg, "tera", 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, _, err := taChunked(testCfg, "tera", 2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := one / two; s < 1.5 || s > 2.05 {
+		t.Errorf("2-proc speedup = %.2f, want ≈ 1.8", s)
+	}
+}
+
+func TestSequentialTMOrderingAndRatios(t *testing.T) {
+	// Paper Table 8: Alpha < PPro < Exemplar ≪ Tera; Tera ≈ 6x Alpha.
+	alpha, err := tmSeq(testCfg, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tera, err := tmSeq(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tera / alpha; r < 4.5 || r > 9 {
+		t.Errorf("tera/alpha = %.1f, want ≈ 6 (memory-bound: smaller gap than TA)", r)
+	}
+	// The key contrast with TA: the Tera penalty is much smaller for the
+	// memory-bound program.
+	taAlpha, err := taSeq(testCfg, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taTera, err := taSeq(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (tera / alpha) >= (taTera / taAlpha) {
+		t.Errorf("TM tera ratio %.1f not smaller than TA ratio %.1f", tera/alpha, taTera/taAlpha)
+	}
+}
+
+func TestTMPentiumProSaturates(t *testing.T) {
+	// Paper Table 9: three-fold speedup on four processors (memory-bound).
+	seq, err := tmSeq(testCfg, "ppro", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := tmCoarse(testCfg, "ppro", 4, 4, tmBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := seq / par; s < 2.2 || s > 3.8 {
+		t.Errorf("PPro 4-proc TM speedup = %.1f, want ≈ 3 (bus saturation)", s)
+	}
+}
+
+func TestTMExemplarPlateaus(t *testing.T) {
+	// Paper Table 10: speedup plateaus around 6-7 well below 16.
+	seq, err := tmSeq(testCfg, "exemplar", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par16, _, err := tmCoarse(testCfg, "exemplar", 16, 16, tmBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := seq / par16; s < 4.5 || s > 10 {
+		t.Errorf("Exemplar 16-proc TM speedup = %.1f, want ≈ 6-8 (plateau)", s)
+	}
+}
+
+func TestTMTeraFine(t *testing.T) {
+	// Paper Table 11 + §6: ~20x over Tera sequential; 1.4 on two processors.
+	seq, err := tmSeq(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := tmFine(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := tmFine(testCfg, "tera", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := seq / one; f < 15 || f > 35 {
+		t.Errorf("fine-grained vs sequential = %.1fx, want ≈ 20x", f)
+	}
+	if s := one / two; s < 1.05 || s > 1.7 {
+		t.Errorf("2-proc speedup = %.2f, want ≈ 1.4", s)
+	}
+}
+
+func TestTeraBeatsAlphaWhenMultithreaded(t *testing.T) {
+	// Paper §7: one MTA processor multithreaded is 2-3.5x faster than the
+	// Alpha for these codes.
+	taAlpha, err := taSeq(testCfg, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taTera, _, err := taChunked(testCfg, "tera", 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := taAlpha / taTera; r < 1.5 || r > 4 {
+		t.Errorf("TA: alpha/tera-1proc = %.2f, want ≈ 2.3", r)
+	}
+	tmAlpha, err := tmSeq(testCfg, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmTera, err := tmFine(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tmAlpha / tmTera; r < 1.8 || r > 5 {
+		t.Errorf("TM: alpha/tera-1proc = %.2f, want ≈ 3.3", r)
+	}
+}
+
+func TestTeraOneProcEquivalentToFourExemplar(t *testing.T) {
+	// Paper §5: "the performance of one 255 MHz Tera MTA processor is
+	// approximately equivalent to four 180 MHz Exemplar processors."
+	tera, _, err := taChunked(testCfg, "tera", 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exem4, _, err := taChunked(testCfg, "exemplar", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tera / exem4; r < 0.6 || r > 1.6 {
+		t.Errorf("tera-1proc / exemplar-4proc = %.2f, want ≈ 1", r)
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	for _, e := range All() {
+		res, err := e.Run(testCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if len(res.Tables) == 0 {
+			t.Errorf("%s: no tables produced", e.ID)
+		}
+		for _, tb := range res.Tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s: table %s empty", e.ID, tb.ID)
+			}
+			if out := tb.Render(); !strings.Contains(out, "│") {
+				t.Errorf("%s: table %s renders empty", e.ID, tb.ID)
+			}
+		}
+	}
+}
+
+func TestFiguresProducedForSpeedupTables(t *testing.T) {
+	for _, id := range []string{"table3", "table4", "table9", "table10"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Figures) != 1 {
+			t.Errorf("%s: %d figures, want 1", id, len(res.Figures))
+			continue
+		}
+		if out := res.Figures[0].Render(50, 12); !strings.Contains(out, "speedup") {
+			t.Errorf("%s: figure missing axis labels", id)
+		}
+	}
+}
+
+func TestAutomaticEqualsSequentialInSummaries(t *testing.T) {
+	for _, id := range []string{"table7", "table12"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := res.Tables[0]
+		byKey := map[string]string{}
+		for _, row := range tb.Rows {
+			byKey[row[0]+"|"+row[1]] = row[3]
+		}
+		for _, plat := range []string{"Exemplar", "Tera"} {
+			if byKey["Automatic|"+plat] != byKey["None|"+plat] {
+				t.Errorf("%s: automatic (%s) != sequential (%s) for %s",
+					id, byKey["Automatic|"+plat], byKey["None|"+plat], plat)
+			}
+		}
+	}
+}
+
+func TestAutoparExperimentVerdicts(t *testing.T) {
+	e, err := Get("autopar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	practical := map[string]string{}
+	for _, row := range tb.Rows {
+		practical[row[0]] = row[2]
+	}
+	for name, want := range map[string]string{
+		"Program 1: sequential Threat Analysis": "no",
+		"Program 3: sequential Terrain Masking": "no",
+	} {
+		if practical[name] != want {
+			t.Errorf("%s practical = %q, want %q", name, practical[name], want)
+		}
+	}
+	if !strings.Contains(res.Text, "num_intervals") {
+		t.Error("autopar feedback does not mention num_intervals")
+	}
+	// Controls: the analyzer parallelizes what is actually parallel.
+	ctl := res.Tables[1]
+	for _, row := range ctl.Rows {
+		if row[0] == "vector add" && row[1] != "PARALLELIZED" {
+			t.Errorf("vector add verdict = %q", row[1])
+		}
+		if row[0] == "1-d stencil" && row[1] != "NOT PARALLELIZED" {
+			t.Errorf("stencil verdict = %q", row[1])
+		}
+	}
+}
+
+func TestFineGrainedStylePracticalOnlyOnMTA(t *testing.T) {
+	// Ablation: fine-grained TM should be much worse than coarse on the
+	// Exemplar, while on the MTA fine-grained is the practical approach.
+	coarse, _, err := tmCoarse(testCfg, "exemplar", 16, 16, tmBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := tmFine(testCfg, "exemplar", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine < coarse*1.5 {
+		t.Errorf("fine (%.1f) vs coarse (%.1f) on Exemplar: want ≥ 1.5x worse", fine, coarse)
+	}
+}
+
+func TestGetUnknownExperiment(t *testing.T) {
+	if _, err := Get("table99"); err == nil {
+		t.Error("Get(table99) did not fail")
+	}
+}
+
+func TestIDsMatchAll(t *testing.T) {
+	ids := IDs()
+	all := All()
+	if len(ids) != len(all) {
+		t.Fatalf("IDs() len %d != All() len %d", len(ids), len(all))
+	}
+	for i := range all {
+		if ids[i] != all[i].ID {
+			t.Errorf("IDs[%d] = %q, want %q", i, ids[i], all[i].ID)
+		}
+	}
+}

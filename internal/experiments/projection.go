@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/c3i/terrain"
+	"repro/internal/c3i/threat"
+	"repro/internal/machine"
+	"repro/internal/mta"
+	"repro/internal/report"
+)
+
+// runProjectionScaling realizes the paper's stated future work (§8): "A
+// potential strength of the Tera MTA that we were unable to investigate on a
+// dual-processor configuration is scalability to large numbers of
+// processors… It is possible that the Tera model of large numbers of
+// fine-grained threads and no memory hierarchy may be effective in
+// overcoming this obstacle."
+//
+// The projection runs both benchmarks on 1–64 processor MTA configurations
+// under two network assumptions: the 1998 development-status network (the
+// calibrated default) and a mature network (no latency multiplier, full
+// bandwidth scaling). With a mature network the no-cache/many-threads model
+// keeps scaling where the cached SMPs saturated — provided the program can
+// supply enough threads, which is exactly the machine's precondition.
+func runProjectionScaling(cfg Config) (*Result, error) {
+	taSuiteV := taSuite(cfg.ScaleTA)
+	tmSuiteV := tmSuite(cfg.ScaleTM)
+
+	tb := &report.Table{
+		ID:      "projection-scaling",
+		Title:   "Projected Tera MTA scaling (the paper's future work, in the model)",
+		Columns: []string{"Processors", "TA (speedup)", "TM fine (speedup)", "TM hybrid (speedup)"},
+		Notes: []string{
+			"mature network assumed (latency multiplier 1.0, full bandwidth); threads scale with processors",
+			"TM fine keeps the per-threat driver serial (Amdahl-bound); TM hybrid overlaps drivers across workers with block locks",
+			"Threat Analysis tops out when the 1000-threat outer loop runs out of parallelism — the paper's \"not all programs have the potential for hundreds of threads\"",
+			fmt.Sprintf("scales %g/%g normalized", cfg.ScaleTA, cfg.ScaleTM),
+		},
+	}
+
+	mature := func(procs int) mta.Params {
+		p := mta.DefaultParams(procs)
+		p.NetLatencyMult = 1.0
+		p.NetBandwidthEff = 1.0
+		return p
+	}
+
+	runTA := func(procs int) (float64, error) {
+		// Enough threads to cover all processors' streams (until the threat
+		// count runs out — the interesting limit).
+		chunks := 256
+		if c := procs * 128; c > chunks {
+			chunks = c
+		}
+		p := mature(procs)
+		res, err := runOnce(fmt.Sprintf("proj-ta|p%d|s%g", procs, cfg.ScaleTA),
+			func() *machine.Engine { return mta.New(p) },
+			func(t *machine.Thread) {
+				for _, s := range taSuiteV {
+					threat.Chunked(t, s, chunks)
+				}
+			})
+		return res.Seconds, err
+	}
+	runTMFine := func(procs int) (float64, error) {
+		p := mature(procs)
+		res, err := runOnce(fmt.Sprintf("proj-tmf|p%d|s%g", procs, cfg.ScaleTM),
+			func() *machine.Engine { return mta.New(p) },
+			func(t *machine.Thread) {
+				for _, s := range tmSuiteV {
+					terrain.FineOpt(t, s, tmSectors*procs, tmMergeChunks*procs, terrain.Opt{ChargeOnly: true})
+				}
+			})
+		return res.Seconds, err
+	}
+	runTMHybrid := func(procs int) (float64, error) {
+		p := mature(procs)
+		workers := procs * 2
+		res, err := runOnce(fmt.Sprintf("proj-tmh|p%d|s%g", procs, cfg.ScaleTM),
+			func() *machine.Engine { return mta.New(p) },
+			func(t *machine.Thread) {
+				for _, s := range tmSuiteV {
+					terrain.HybridOpt(t, s, workers, tmSectors, tmMergeChunks, 10,
+						terrain.Opt{ChargeOnly: true})
+				}
+			})
+		return res.Seconds, err
+	}
+
+	taBase, err := runTA(1)
+	if err != nil {
+		return nil, err
+	}
+	tmFineBase, err := runTMFine(1)
+	if err != nil {
+		return nil, err
+	}
+	tmHybridBase, err := runTMHybrid(1)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &report.Figure{
+		ID: "projection-figure", Title: "Projected MTA speedup vs processors (mature network)",
+		XLabel: "processors", YLabel: "speedup",
+	}
+	var taS, tmFineS, tmHybS report.Series
+	taS.Label, taS.Marker = "Threat Analysis", '*'
+	tmFineS.Label, tmFineS.Marker = "TM fine", '+'
+	tmHybS.Label, tmHybS.Marker = "TM hybrid", 'o'
+
+	for _, procs := range []int{1, 2, 4, 8, 16, 32, 64} {
+		ta, err := runTA(procs)
+		if err != nil {
+			return nil, err
+		}
+		tmF, err := runTMFine(procs)
+		if err != nil {
+			return nil, err
+		}
+		tmH, err := runTMHybrid(procs)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(procs,
+			report.FormatSpeedup(taBase/ta),
+			report.FormatSpeedup(tmFineBase/tmF),
+			report.FormatSpeedup(tmHybridBase/tmH))
+		taS.X = append(taS.X, float64(procs))
+		taS.Y = append(taS.Y, taBase/ta)
+		tmFineS.X = append(tmFineS.X, float64(procs))
+		tmFineS.Y = append(tmFineS.Y, tmFineBase/tmF)
+		tmHybS.X = append(tmHybS.X, float64(procs))
+		tmHybS.Y = append(tmHybS.Y, tmHybridBase/tmH)
+	}
+	fig.Series = []report.Series{taS, tmFineS, tmHybS}
+	return &Result{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}, nil
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/c3i/threat"
+	"repro/internal/machine"
+	"repro/internal/platforms"
+	"repro/internal/report"
+)
+
+// taSeq runs sequential Threat Analysis on a platform and returns
+// paper-scale seconds.
+func taSeq(cfg Config, key string, procs int) (float64, error) {
+	suite := taSuite(cfg.ScaleTA)
+	spec, err := platforms.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	res, err := runOnce(fmt.Sprintf("ta-seq|%s|p%d|s%g", key, procs, cfg.ScaleTA),
+		func() *machine.Engine { return spec.New(procs) },
+		func(t *machine.Thread) {
+			for _, s := range suite {
+				threat.Sequential(t, s)
+			}
+		})
+	return res.Seconds * taNorm(suite), err
+}
+
+// taChunked runs the chunked (Program 2) variant and returns paper-scale
+// seconds plus the machine result (for utilization ablations).
+func taChunked(cfg Config, key string, procs, chunks int) (float64, machine.Result, error) {
+	suite := taSuite(cfg.ScaleTA)
+	spec, err := platforms.Get(key)
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	res, err := runOnce(fmt.Sprintf("ta-chunk|%s|p%d|c%d|s%g", key, procs, chunks, cfg.ScaleTA),
+		func() *machine.Engine { return spec.New(procs) },
+		func(t *machine.Thread) {
+			for _, s := range suite {
+				threat.Chunked(t, s, chunks)
+			}
+		})
+	return res.Seconds * taNorm(suite), res, err
+}
+
+// taFine runs the fine-grained (sync-variable) variant.
+func taFine(cfg Config, key string, procs int) (float64, error) {
+	suite := taSuite(cfg.ScaleTA)
+	spec, err := platforms.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	res, err := runOnce(fmt.Sprintf("ta-fine|%s|p%d|s%g", key, procs, cfg.ScaleTA),
+		func() *machine.Engine { return spec.New(procs) },
+		func(t *machine.Thread) {
+			for _, s := range suite {
+				threat.FineGrained(t, s)
+			}
+		})
+	return res.Seconds * taNorm(suite), err
+}
+
+// runTable2 reproduces Table 2: sequential Threat Analysis on all four
+// platforms.
+func runTable2(cfg Config) (*Result, error) {
+	tb := &report.Table{
+		ID:      "table2",
+		Title:   "Execution time of sequential Threat Analysis without parallelization",
+		Columns: []string{"Platform", "Paper (s)", "Model (s)", "Model/Paper"},
+		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 1000 threats/scenario", cfg.ScaleTA)},
+	}
+	for _, row := range []struct {
+		name, key string
+		procs     int
+	}{
+		{"Alpha", "alpha", 1},
+		{"Pentium Pro", "ppro", 4},
+		{"Exemplar", "exemplar", 16},
+		{"Tera", "tera", 1},
+	} {
+		sec, err := taSeq(cfg, row.key, row.procs)
+		if err != nil {
+			return nil, err
+		}
+		paper := PaperTable2[row.name]
+		tb.AddRow(row.name, paper, sec, fmt.Sprintf("%.2f", sec/paper))
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}
+
+// speedupTable builds a paper-style processors/time/speedup table plus the
+// corresponding speedup figure.
+func speedupTable(id, figID, title, figTitle string, paper map[int]float64,
+	model map[int]float64, maxProcs int, note string) *Result {
+
+	tb := &report.Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"Number of processors", "Paper (s)", "Paper speedup", "Model (s)", "Model speedup"},
+		Notes:   []string{note},
+	}
+	paperSeq, modelSeq := paper[0], model[0]
+	tb.AddRow("Sequential", paperSeq, "N.A.", modelSeq, "N.A.")
+	fig := &report.Figure{
+		ID: figID, Title: figTitle,
+		XLabel: "processors", YLabel: "speedup",
+	}
+	var paperS, modelS report.Series
+	paperS.Label, paperS.Marker = "paper", '+'
+	modelS.Label, modelS.Marker = "model", '*'
+	for p := 1; p <= maxProcs; p++ {
+		ps, ok1 := paper[p]
+		ms, ok2 := model[p]
+		if !ok1 || !ok2 {
+			continue
+		}
+		tb.AddRow(p, ps, report.FormatSpeedup(paperSeq/ps), ms, report.FormatSpeedup(modelSeq/ms))
+		paperS.X = append(paperS.X, float64(p))
+		paperS.Y = append(paperS.Y, paperSeq/ps)
+		modelS.X = append(modelS.X, float64(p))
+		modelS.Y = append(modelS.Y, modelSeq/ms)
+	}
+	fig.Series = []report.Series{modelS, paperS}
+	return &Result{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}
+}
+
+// runTable3 reproduces Table 3 / Figure 1: chunked Threat Analysis on the
+// quad Pentium Pro, one chunk per processor.
+func runTable3(cfg Config) (*Result, error) {
+	model := map[int]float64{}
+	seq, err := taSeq(cfg, "ppro", 4)
+	if err != nil {
+		return nil, err
+	}
+	model[0] = seq
+	for p := 1; p <= 4; p++ {
+		sec, _, err := taChunked(cfg, "ppro", p, p)
+		if err != nil {
+			return nil, err
+		}
+		model[p] = sec
+	}
+	return speedupTable("table3", "figure1",
+		"Execution time of multithreaded Threat Analysis on quad-processor Pentium Pro",
+		"Speedup of multithreaded Threat Analysis on quad-processor Pentium Pro",
+		PaperTable3, model, 4,
+		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.ScaleTA)), nil
+}
+
+// runTable4 reproduces Table 4 / Figure 2: chunked Threat Analysis on the
+// 16-processor Exemplar.
+func runTable4(cfg Config) (*Result, error) {
+	model := map[int]float64{}
+	seq, err := taSeq(cfg, "exemplar", 16)
+	if err != nil {
+		return nil, err
+	}
+	model[0] = seq
+	for p := 1; p <= 16; p++ {
+		sec, _, err := taChunked(cfg, "exemplar", p, p)
+		if err != nil {
+			return nil, err
+		}
+		model[p] = sec
+	}
+	return speedupTable("table4", "figure2",
+		"Execution time of multithreaded Threat Analysis on 16-processor Exemplar",
+		"Speedup of multithreaded Threat Analysis on 16-processor Exemplar",
+		PaperTable4, model, 16,
+		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.ScaleTA)), nil
+}
+
+// runTable5 reproduces Table 5: chunked Threat Analysis on the Tera MTA with
+// 256 chunks, one and two processors.
+func runTable5(cfg Config) (*Result, error) {
+	tb := &report.Table{
+		ID:      "table5",
+		Title:   "Execution time of multithreaded Threat Analysis on dual-processor Tera MTA",
+		Columns: []string{"Number of Processors", "Paper (s)", "Paper speedup", "Model (s)", "Model speedup"},
+		Notes:   []string{fmt.Sprintf("256 chunks; scale %g normalized", cfg.ScaleTA)},
+	}
+	var oneProc float64
+	for _, p := range []int{1, 2} {
+		sec, _, err := taChunked(cfg, "tera", p, 256)
+		if err != nil {
+			return nil, err
+		}
+		if p == 1 {
+			oneProc = sec
+		}
+		tb.AddRow(p, PaperTable5[p], report.FormatSpeedup(PaperTable5[1]/PaperTable5[p]),
+			sec, report.FormatSpeedup(oneProc/sec))
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}
+
+// runTable6 reproduces Table 6: Threat Analysis on the dual-processor Tera
+// MTA as the chunk count varies.
+func runTable6(cfg Config) (*Result, error) {
+	tb := &report.Table{
+		ID:      "table6",
+		Title:   "Execution time of multithreaded Threat Analysis with varying number of chunks on Tera MTA",
+		Columns: []string{"Number of Chunks", "Paper (s)", "Model (s)"},
+		Notes:   []string{fmt.Sprintf("two processors; scale %g normalized", cfg.ScaleTA)},
+	}
+	for _, chunks := range sortedKeys(PaperTable6) {
+		sec, _, err := taChunked(cfg, "tera", 2, chunks)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(chunks, PaperTable6[chunks], sec)
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}
+
+// runTable7 reproduces Table 7: the Threat Analysis summary across
+// parallelization strategies and platforms. The "Automatic" rows equal the
+// sequential rows because the dependence analyzer (like the paper's
+// compilers) finds no practical opportunities — see the autopar experiment.
+func runTable7(cfg Config) (*Result, error) {
+	tb := &report.Table{
+		ID:      "table7",
+		Title:   "Performance comparison for execution times of Threat Analysis",
+		Columns: []string{"Parallelization", "Platform", "Paper (s)", "Model (s)"},
+		Notes: []string{
+			"automatic parallelization found no opportunities (see experiment `autopar`), so those rows equal sequential execution",
+			fmt.Sprintf("scale %g normalized", cfg.ScaleTA),
+		},
+	}
+	type cell struct {
+		group, name string
+		paper       float64
+		run         func() (float64, error)
+	}
+	cells := []cell{
+		{"None", "Alpha", 187, func() (float64, error) { return taSeq(cfg, "alpha", 1) }},
+		{"None", "Pentium Pro", 458, func() (float64, error) { return taSeq(cfg, "ppro", 4) }},
+		{"None", "Exemplar", 343, func() (float64, error) { return taSeq(cfg, "exemplar", 16) }},
+		{"None", "Tera", 2584, func() (float64, error) { return taSeq(cfg, "tera", 1) }},
+		{"Automatic", "Exemplar", 343, func() (float64, error) { return taSeq(cfg, "exemplar", 16) }},
+		{"Automatic", "Tera", 2584, func() (float64, error) { return taSeq(cfg, "tera", 1) }},
+		{"Manual", "Pentium Pro (4 processors)", 117, func() (float64, error) {
+			s, _, err := taChunked(cfg, "ppro", 4, 4)
+			return s, err
+		}},
+		{"Manual", "Exemplar (4 processors)", 87, func() (float64, error) {
+			s, _, err := taChunked(cfg, "exemplar", 4, 4)
+			return s, err
+		}},
+		{"Manual", "Exemplar (8 processors)", 43, func() (float64, error) {
+			s, _, err := taChunked(cfg, "exemplar", 8, 8)
+			return s, err
+		}},
+		{"Manual", "Exemplar (16 processors)", 22, func() (float64, error) {
+			s, _, err := taChunked(cfg, "exemplar", 16, 16)
+			return s, err
+		}},
+		{"Manual", "Tera MTA (1 processor)", 82, func() (float64, error) {
+			s, _, err := taChunked(cfg, "tera", 1, 256)
+			return s, err
+		}},
+		{"Manual", "Tera MTA (2 processors)", 46, func() (float64, error) {
+			s, _, err := taChunked(cfg, "tera", 2, 256)
+			return s, err
+		}},
+	}
+	for _, c := range cells {
+		sec, err := c.run()
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(c.group, c.name, c.paper, sec)
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}

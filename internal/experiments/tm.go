@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/c3i/terrain"
+	"repro/internal/machine"
+	"repro/internal/platforms"
+	"repro/internal/report"
+)
+
+// Fine-grained Terrain Masking decomposition on the MTA: the ray fan is
+// split into this many parallel sectors and the reset/minimize passes into
+// this many row chunks, giving ~100 concurrent threads per threat.
+const (
+	tmSectors     = 96
+	tmMergeChunks = 64
+)
+
+// tmBlocks is the paper's ten-by-ten blocking of the terrain for the
+// coarse-grained variant's locks.
+const tmBlocks = 10
+
+// tmSeq runs sequential Terrain Masking (charge-replay mode) and returns
+// paper-scale seconds.
+func tmSeq(cfg Config, key string, procs int) (float64, error) {
+	suite := tmSuite(cfg.ScaleTM)
+	spec, err := platforms.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	res, err := runOnce(fmt.Sprintf("tm-seq|%s|p%d|s%g", key, procs, cfg.ScaleTM),
+		func() *machine.Engine { return spec.New(procs) },
+		func(t *machine.Thread) {
+			for _, s := range suite {
+				terrain.SequentialOpt(t, s, terrain.Opt{ChargeOnly: true})
+			}
+		})
+	return res.Seconds * tmNorm(suite), err
+}
+
+// tmCoarse runs the coarse-grained lock-blocked variant.
+func tmCoarse(cfg Config, key string, procs, workers, blocks int) (float64, machine.Result, error) {
+	suite := tmSuite(cfg.ScaleTM)
+	spec, err := platforms.Get(key)
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	res, err := runOnce(fmt.Sprintf("tm-coarse|%s|p%d|w%d|b%d|s%g", key, procs, workers, blocks, cfg.ScaleTM),
+		func() *machine.Engine { return spec.New(procs) },
+		func(t *machine.Thread) {
+			for _, s := range suite {
+				terrain.CoarseOpt(t, s, workers, blocks, terrain.Opt{ChargeOnly: true})
+			}
+		})
+	return res.Seconds * tmNorm(suite), res, err
+}
+
+// tmFine runs the fine-grained inner-loop variant.
+func tmFine(cfg Config, key string, procs int) (float64, error) {
+	suite := tmSuite(cfg.ScaleTM)
+	spec, err := platforms.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	res, err := runOnce(fmt.Sprintf("tm-fine|%s|p%d|s%g", key, procs, cfg.ScaleTM),
+		func() *machine.Engine { return spec.New(procs) },
+		func(t *machine.Thread) {
+			for _, s := range suite {
+				terrain.FineOpt(t, s, tmSectors, tmMergeChunks, terrain.Opt{ChargeOnly: true})
+			}
+		})
+	return res.Seconds * tmNorm(suite), err
+}
+
+// runTable8 reproduces Table 8: sequential Terrain Masking on all four
+// platforms.
+func runTable8(cfg Config) (*Result, error) {
+	tb := &report.Table{
+		ID:      "table8",
+		Title:   "Execution time of sequential Terrain Masking without parallelization",
+		Columns: []string{"Platform", "Paper (s)", "Model (s)", "Model/Paper"},
+		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 60 threats/scenario", cfg.ScaleTM)},
+	}
+	for _, row := range []struct {
+		name, key string
+		procs     int
+	}{
+		{"Alpha", "alpha", 1},
+		{"Pentium Pro", "ppro", 4},
+		{"Exemplar", "exemplar", 16},
+		{"Tera", "tera", 1},
+	} {
+		sec, err := tmSeq(cfg, row.key, row.procs)
+		if err != nil {
+			return nil, err
+		}
+		paper := PaperTable8[row.name]
+		tb.AddRow(row.name, paper, sec, fmt.Sprintf("%.2f", sec/paper))
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}
+
+// runTable9 reproduces Table 9 / Figure 3: coarse-grained Terrain Masking on
+// the quad Pentium Pro, one worker per processor, ten-by-ten blocking.
+func runTable9(cfg Config) (*Result, error) {
+	model := map[int]float64{}
+	seq, err := tmSeq(cfg, "ppro", 4)
+	if err != nil {
+		return nil, err
+	}
+	model[0] = seq
+	for p := 1; p <= 4; p++ {
+		sec, _, err := tmCoarse(cfg, "ppro", p, p, tmBlocks)
+		if err != nil {
+			return nil, err
+		}
+		model[p] = sec
+	}
+	return speedupTable("table9", "figure3",
+		"Execution time of multithreaded Terrain Masking on quad-processor Pentium Pro",
+		"Speedup of coarse-grained multithreaded Terrain Masking on quad-processor Pentium Pro",
+		PaperTable9, model, 4,
+		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.ScaleTM)), nil
+}
+
+// runTable10 reproduces Table 10 / Figure 4: coarse-grained Terrain Masking
+// on the 16-processor Exemplar.
+func runTable10(cfg Config) (*Result, error) {
+	model := map[int]float64{}
+	seq, err := tmSeq(cfg, "exemplar", 16)
+	if err != nil {
+		return nil, err
+	}
+	model[0] = seq
+	for p := 1; p <= 16; p++ {
+		sec, _, err := tmCoarse(cfg, "exemplar", p, p, tmBlocks)
+		if err != nil {
+			return nil, err
+		}
+		model[p] = sec
+	}
+	return speedupTable("table10", "figure4",
+		"Execution time of multithreaded Terrain Masking on 16-processor Exemplar",
+		"Speedup of multithreaded Terrain Masking on 16-processor Exemplar",
+		PaperTable10, model, 16,
+		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.ScaleTM)), nil
+}
+
+// runTable11 reproduces Table 11: fine-grained Terrain Masking on the Tera
+// MTA, one and two processors. The coarse-grained variant is infeasible
+// there — efficient use of the machine needs hundreds of streams, and
+// hundreds of private temp arrays exceed the machine's 2 GB (see the note).
+func runTable11(cfg Config) (*Result, error) {
+	tera, err := platforms.Get("tera")
+	if err != nil {
+		return nil, err
+	}
+	tb := &report.Table{
+		ID:      "table11",
+		Title:   "Execution time of multithreaded Terrain Masking on dual-processor Tera MTA",
+		Columns: []string{"Number of Processors", "Paper (s)", "Paper speedup", "Model (s)", "Model speedup"},
+		Notes: []string{
+			fmt.Sprintf("fine-grained inner-loop parallelism (%d ray sectors, %d merge chunks); scale %g normalized",
+				tmSectors, tmMergeChunks, cfg.ScaleTM),
+			fmt.Sprintf("coarse-grained variant infeasible on the MTA: 256 workers would need %.1f GB of private temp arrays vs %d GB of memory",
+				float64(terrain.CoarseTempBytesFullScale(256))/float64(1<<30), tera.MemoryBytes>>30),
+		},
+	}
+	var oneProc float64
+	for _, p := range []int{1, 2} {
+		sec, err := tmFine(cfg, "tera", p)
+		if err != nil {
+			return nil, err
+		}
+		if p == 1 {
+			oneProc = sec
+		}
+		tb.AddRow(p, PaperTable11[p], report.FormatSpeedup(PaperTable11[1]/PaperTable11[p]),
+			sec, report.FormatSpeedup(oneProc/sec))
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}
+
+// runTable12 reproduces Table 12: the Terrain Masking summary.
+func runTable12(cfg Config) (*Result, error) {
+	tb := &report.Table{
+		ID:      "table12",
+		Title:   "Performance comparison for execution times of Terrain Masking",
+		Columns: []string{"Parallelization", "Platform", "Paper (s)", "Model (s)"},
+		Notes: []string{
+			"automatic parallelization found no opportunities (see experiment `autopar`), so those rows equal sequential execution",
+			fmt.Sprintf("scale %g normalized", cfg.ScaleTM),
+		},
+	}
+	type cell struct {
+		group, name string
+		paper       float64
+		run         func() (float64, error)
+	}
+	cells := []cell{
+		{"None", "Alpha", 158, func() (float64, error) { return tmSeq(cfg, "alpha", 1) }},
+		{"None", "Pentium Pro", 197, func() (float64, error) { return tmSeq(cfg, "ppro", 4) }},
+		{"None", "Exemplar", 228, func() (float64, error) { return tmSeq(cfg, "exemplar", 16) }},
+		{"None", "Tera", 978, func() (float64, error) { return tmSeq(cfg, "tera", 1) }},
+		{"Automatic", "Exemplar", 228, func() (float64, error) { return tmSeq(cfg, "exemplar", 16) }},
+		{"Automatic", "Tera", 978, func() (float64, error) { return tmSeq(cfg, "tera", 1) }},
+		{"Manual", "Pentium Pro (4 processors)", 65, func() (float64, error) {
+			s, _, err := tmCoarse(cfg, "ppro", 4, 4, tmBlocks)
+			return s, err
+		}},
+		{"Manual", "Exemplar (4 processors)", 59, func() (float64, error) {
+			s, _, err := tmCoarse(cfg, "exemplar", 4, 4, tmBlocks)
+			return s, err
+		}},
+		{"Manual", "Exemplar (8 processors)", 37, func() (float64, error) {
+			s, _, err := tmCoarse(cfg, "exemplar", 8, 8, tmBlocks)
+			return s, err
+		}},
+		{"Manual", "Exemplar (16 processors)", 37, func() (float64, error) {
+			s, _, err := tmCoarse(cfg, "exemplar", 16, 16, tmBlocks)
+			return s, err
+		}},
+		{"Manual", "Tera MTA (1 processor)", 48, func() (float64, error) { return tmFine(cfg, "tera", 1) }},
+		{"Manual", "Tera MTA (2 processors)", 34, func() (float64, error) { return tmFine(cfg, "tera", 2) }},
+	}
+	for _, c := range cells {
+		sec, err := c.run()
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(c.group, c.name, c.paper, sec)
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}

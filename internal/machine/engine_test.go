@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// These tests cover engine-level behaviours beyond the primitive semantics
+// in machine_test.go: panic propagation, tracing hooks, model access, and
+// misuse detection.
+
+func TestBenchmarkBugSurfacesAsPanic(t *testing.T) {
+	// A burst overrunning its region is a simulation programming bug; it
+	// must surface as a panic from Run (on the caller's goroutine), not hang
+	// or crash the process.
+	e := newTestEngine(1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overrunning burst did not panic through Run")
+		}
+		if !strings.Contains(r.(string), "overruns region") {
+			t.Errorf("panic value %v does not explain the overrun", r)
+		}
+	}()
+	e.Run("main", func(th *Thread) {
+		r := th.Alloc("tiny", 16)
+		th.Burst(mem.ReadBurst(r, 0, 8, 100))
+	})
+}
+
+func TestPanicInChildThread(t *testing.T) {
+	e := newTestEngine(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("child panic not propagated")
+		}
+	}()
+	e.Run("main", func(th *Thread) {
+		c := th.Go("child", func(c *Thread) {
+			panic("child bug")
+		})
+		th.Join(c)
+	})
+}
+
+func TestModelAccessor(t *testing.T) {
+	m := &unitModel{}
+	e := New(Config{Name: "m", ClockHz: 1e6, Procs: 1}, m)
+	if e.Model() != m {
+		t.Error("Model() did not return the installed model")
+	}
+}
+
+func TestTracerRecordsLifecycleAndMarks(t *testing.T) {
+	e := newTestEngine(2)
+	l := trace.New(e.Config().ClockHz)
+	e.SetTracer(l)
+	if e.Tracer() != l {
+		t.Fatal("Tracer() accessor broken")
+	}
+	_, err := e.Run("main", func(th *Thread) {
+		th.Mark("phase-a")
+		c := th.Go("child", func(c *Thread) { c.Compute(10) })
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts, ends, marks int
+	for _, ev := range l.Events {
+		switch ev.Kind {
+		case trace.ThreadStart:
+			starts++
+		case trace.ThreadEnd:
+			ends++
+		case trace.Mark:
+			marks++
+		}
+	}
+	if starts != 2 || ends != 2 || marks != 1 {
+		t.Errorf("events = %d starts, %d ends, %d marks; want 2/2/1", starts, ends, marks)
+	}
+}
+
+func TestNoTracerIsFree(t *testing.T) {
+	e := newTestEngine(1)
+	_, err := e.Run("main", func(th *Thread) {
+		th.Mark("ignored") // must be a no-op without a tracer
+		th.Compute(5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Tracer() != nil {
+		t.Error("tracer should be nil by default")
+	}
+}
+
+func TestDeadlockReportedAsError(t *testing.T) {
+	e := newTestEngine(1)
+	_, err := e.Run("main", func(th *Thread) {
+		l := th.NewLock("m")
+		l.Lock(th)
+		l.Lock(th) // self-deadlock
+	})
+	if err == nil {
+		t.Fatal("self-deadlock not reported")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("error %q does not mention deadlock", err)
+	}
+}
+
+func TestJoinOtherEnginesThreadPanics(t *testing.T) {
+	// Threads belong to one engine; joining across engines is a bug the
+	// simulation surfaces as a deadlock or panic rather than silent nonsense.
+	e1 := newTestEngine(1)
+	var foreign *Thread
+	_, err := e1.Run("main", func(th *Thread) {
+		foreign = th.Go("f", func(c *Thread) {})
+		th.Join(foreign)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// foreign is done; joining it from another engine returns immediately
+	// (done flag), which is the defined semantics.
+	e2 := newTestEngine(1)
+	if _, err := e2.Run("main", func(th *Thread) { th.Join(foreign) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsSnapshotDuringRun(t *testing.T) {
+	e := newTestEngine(1)
+	var mid Stats
+	_, err := e.Run("main", func(th *Thread) {
+		th.Compute(100)
+		mid = e.Stats()
+		th.Compute(100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Ops != 100 {
+		t.Errorf("mid-run Ops = %d, want 100", mid.Ops)
+	}
+	if e.Stats().Ops != 200 {
+		t.Errorf("final Ops = %d, want 200", e.Stats().Ops)
+	}
+}
+
+func TestZeroCountBurstIgnored(t *testing.T) {
+	e := newTestEngine(1)
+	res, err := e.Run("main", func(th *Thread) {
+		r := th.Alloc("r", 64)
+		th.Burst(mem.Burst{Region: r, N: 0})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MemRefs != 0 || res.Stats.Cycles != 0 {
+		t.Errorf("zero burst charged: %+v", res.Stats)
+	}
+}

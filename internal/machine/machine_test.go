@@ -1,0 +1,443 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// unitModel charges one cycle per op/ref/touch and admits threads
+// round-robin across procs — a trivial model for engine tests.
+type unitModel struct {
+	e     *Engine
+	next  int
+	admit int64
+}
+
+func (m *unitModel) Init(e *Engine)                { m.e = e }
+func (m *unitModel) Compute(t *Thread, ops int64)  { t.P.Sleep(float64(ops)) }
+func (m *unitModel) Memory(t *Thread, b mem.Burst) { t.P.Sleep(float64(b.N)) }
+func (m *unitModel) SyncTouch(t *Thread)           { t.P.Sleep(1) }
+func (m *unitModel) AtomicTouch(t *Thread)         { t.P.Sleep(1) }
+func (m *unitModel) LockTouch(t *Thread)           { t.P.Sleep(1) }
+func (m *unitModel) BarrierTouch(t *Thread)        { t.P.Sleep(1) }
+func (m *unitModel) SpawnCost(parent *Thread)      { parent.P.Sleep(10) }
+func (m *unitModel) Admit(t *Thread) {
+	t.Proc = m.next % m.e.Config().Procs
+	m.next++
+	m.admit++
+}
+func (m *unitModel) Release(t *Thread) {}
+func (m *unitModel) Finish(st *Stats)  { st.MemUtil = 0.5 }
+
+func newTestEngine(procs int) *Engine {
+	return New(Config{Name: "unit", ClockHz: 1e6, Procs: procs}, &unitModel{})
+}
+
+func TestRunComputesSeconds(t *testing.T) {
+	e := newTestEngine(1)
+	res, err := e.Run("main", func(th *Thread) {
+		th.Compute(500)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != 500 {
+		t.Errorf("cycles = %v, want 500", res.Stats.Cycles)
+	}
+	if res.Seconds != 500/1e6 {
+		t.Errorf("seconds = %v, want %v", res.Seconds, 500/1e6)
+	}
+	if res.Stats.Ops != 500 {
+		t.Errorf("ops = %v, want 500", res.Stats.Ops)
+	}
+	if res.Stats.MemUtil != 0.5 {
+		t.Errorf("Finish hook not applied: MemUtil = %v", res.Stats.MemUtil)
+	}
+}
+
+func TestComputeZeroOrNegativeFree(t *testing.T) {
+	e := newTestEngine(1)
+	res, err := e.Run("main", func(th *Thread) {
+		th.Compute(0)
+		th.Compute(-5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != 0 || res.Stats.Ops != 0 {
+		t.Errorf("cycles=%v ops=%v, want 0,0", res.Stats.Cycles, res.Stats.Ops)
+	}
+}
+
+func TestGoJoin(t *testing.T) {
+	e := newTestEngine(2)
+	var childTime float64
+	res, err := e.Run("main", func(th *Thread) {
+		c := th.Go("child", func(c *Thread) {
+			c.Compute(100)
+			childTime = c.NowCycles()
+		})
+		th.Join(c)
+		if th.NowCycles() < childTime {
+			t.Error("join returned before child finished")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Spawns != 2 { // main + child
+		t.Errorf("spawns = %d, want 2", res.Stats.Spawns)
+	}
+	if res.Stats.MaxLive != 2 {
+		t.Errorf("maxLive = %d, want 2", res.Stats.MaxLive)
+	}
+}
+
+func TestJoinAlreadyFinished(t *testing.T) {
+	e := newTestEngine(1)
+	_, err := e.Run("main", func(th *Thread) {
+		c := th.Go("quick", func(c *Thread) {})
+		th.Compute(1000) // child finishes long before
+		th.Join(c)       // must not block forever
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	e := newTestEngine(4)
+	_, err := e.Run("main", func(th *Thread) {
+		var ts []*Thread
+		for i := 0; i < 5; i++ {
+			i := i
+			ts = append(ts, th.Go(fmt.Sprintf("c%d", i), func(c *Thread) {
+				c.Compute(int64(10 * (i + 1)))
+			}))
+		}
+		th.JoinAll(ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinProcAssignment(t *testing.T) {
+	e := newTestEngine(3)
+	var procs []int
+	_, err := e.Run("main", func(th *Thread) {
+		var ts []*Thread
+		for i := 0; i < 6; i++ {
+			ts = append(ts, th.Go("c", func(c *Thread) {
+				procs = append(procs, c.Proc)
+			}))
+		}
+		th.JoinAll(ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main took proc 0; children take 1,2,0,1,2,0
+	want := []int{1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Errorf("procs = %v, want %v", procs, want)
+			break
+		}
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	e := newTestEngine(4)
+	inside := 0
+	maxInside := 0
+	_, err := e.Run("main", func(th *Thread) {
+		l := th.NewLock("m")
+		var ts []*Thread
+		for i := 0; i < 8; i++ {
+			ts = append(ts, th.Go("worker", func(c *Thread) {
+				l.Lock(c)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				c.Compute(50) // hold the lock across simulated time
+				inside--
+				l.Unlock(c)
+			}))
+		}
+		th.JoinAll(ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Errorf("maxInside = %d, want 1 (mutual exclusion violated)", maxInside)
+	}
+}
+
+func TestUnlockUnheldPanics(t *testing.T) {
+	e := newTestEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Unlock of unheld lock did not panic")
+		}
+	}()
+	e.Run("main", func(th *Thread) {
+		l := th.NewLock("m")
+		l.Unlock(th)
+	})
+}
+
+func TestSyncVarProducerConsumer(t *testing.T) {
+	e := newTestEngine(2)
+	var got []int64
+	_, err := e.Run("main", func(th *Thread) {
+		v := th.NewSyncVar("cell")
+		consumer := th.Go("consumer", func(c *Thread) {
+			for i := 0; i < 5; i++ {
+				got = append(got, v.ReadFE(c))
+			}
+		})
+		for i := int64(0); i < 5; i++ {
+			v.WriteEF(th, i*i) // blocks until consumer empties the cell
+		}
+		th.Join(consumer)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if g != int64(i*i) {
+			t.Errorf("got[%d] = %d, want %d", i, g, i*i)
+		}
+	}
+}
+
+func TestSyncVarReadFFDoesNotEmpty(t *testing.T) {
+	e := newTestEngine(2)
+	_, err := e.Run("main", func(th *Thread) {
+		v := th.NewSyncVar("cell")
+		v.Write(th, 42)
+		if x := v.ReadFF(th); x != 42 {
+			t.Errorf("ReadFF = %d, want 42", x)
+		}
+		if !v.Full() {
+			t.Error("ReadFF emptied the cell")
+		}
+		if x := v.ReadFE(th); x != 42 {
+			t.Errorf("ReadFE = %d, want 42", x)
+		}
+		if v.Full() {
+			t.Error("ReadFE left the cell full")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncVarBlockingRead(t *testing.T) {
+	e := newTestEngine(2)
+	_, err := e.Run("main", func(th *Thread) {
+		v := th.NewSyncVar("cell")
+		reader := th.Go("reader", func(c *Thread) {
+			x := v.ReadFF(c)
+			if x != 7 {
+				t.Errorf("ReadFF = %d, want 7", x)
+			}
+			if c.NowCycles() < 100 {
+				t.Errorf("read returned at %v, before write at 100", c.NowCycles())
+			}
+		})
+		th.Compute(100)
+		v.Write(th, 7)
+		th.Join(reader)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncVarReset(t *testing.T) {
+	e := newTestEngine(1)
+	_, err := e.Run("main", func(th *Thread) {
+		v := th.NewSyncVar("cell")
+		v.Write(th, 1)
+		v.Reset(th)
+		if v.Full() {
+			t.Error("Reset left the cell full")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncVarDeadlockDetected(t *testing.T) {
+	e := newTestEngine(1)
+	_, err := e.Run("main", func(th *Thread) {
+		v := th.NewSyncVar("never-filled")
+		v.ReadFF(th)
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestCounterAtomicity(t *testing.T) {
+	e := newTestEngine(4)
+	const workers, each = 8, 25
+	seen := map[int64]bool{}
+	_, err := e.Run("main", func(th *Thread) {
+		ctr := th.NewCounter("n", 0)
+		var ts []*Thread
+		for i := 0; i < workers; i++ {
+			ts = append(ts, th.Go("w", func(c *Thread) {
+				for j := 0; j < each; j++ {
+					v := ctr.Next(c)
+					if seen[v] {
+						t.Errorf("duplicate counter value %d", v)
+					}
+					seen[v] = true
+				}
+			}))
+		}
+		th.JoinAll(ts)
+		if ctr.Value() != workers*each {
+			t.Errorf("final = %d, want %d", ctr.Value(), workers*each)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != workers*each {
+		t.Errorf("distinct values = %d, want %d", len(seen), workers*each)
+	}
+}
+
+func TestCounterAdd(t *testing.T) {
+	e := newTestEngine(1)
+	_, err := e.Run("main", func(th *Thread) {
+		ctr := th.NewCounter("n", 10)
+		if v := ctr.Add(th, 5); v != 10 {
+			t.Errorf("Add returned %d, want previous value 10", v)
+		}
+		if ctr.Value() != 15 {
+			t.Errorf("Value = %d, want 15", ctr.Value())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := newTestEngine(4)
+	var releaseTimes []float64
+	_, err := e.Run("main", func(th *Thread) {
+		b := th.NewBarrier("b", 4)
+		var ts []*Thread
+		for i := 0; i < 4; i++ {
+			i := i
+			ts = append(ts, th.Go("w", func(c *Thread) {
+				c.Compute(int64(10 * (i + 1))) // staggered arrival
+				b.Arrive(c)
+				releaseTimes = append(releaseTimes, c.NowCycles())
+			}))
+		}
+		th.JoinAll(ts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(releaseTimes) != 4 {
+		t.Fatalf("releases = %d, want 4", len(releaseTimes))
+	}
+	for _, rt := range releaseTimes {
+		if rt != releaseTimes[0] {
+			t.Errorf("staggered release times %v, want all equal", releaseTimes)
+			break
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	e := newTestEngine(2)
+	count := 0
+	_, err := e.Run("main", func(th *Thread) {
+		b := th.NewBarrier("b", 2)
+		w := th.Go("w", func(c *Thread) {
+			for i := 0; i < 3; i++ {
+				b.Arrive(c)
+				count++
+			}
+		})
+		for i := 0; i < 3; i++ {
+			b.Arrive(th)
+		}
+		th.Join(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	e := newTestEngine(2)
+	res, err := e.Run("main", func(th *Thread) {
+		r := th.Alloc("a", 1024)
+		th.Burst(mem.ReadBurst(r, 0, 8, 100))
+		th.Read(r, 0, 8)
+		th.Write(r, 8, 8)
+		l := th.NewLock("l")
+		l.Lock(th)
+		l.Unlock(th)
+		v := th.NewSyncVar("v")
+		v.Write(th, 1)
+		ctr := th.NewCounter("c", 0)
+		ctr.Next(th)
+		b := th.NewBarrier("b", 1)
+		b.Arrive(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.MemRefs != 102 {
+		t.Errorf("MemRefs = %d, want 102", st.MemRefs)
+	}
+	if st.LockOps != 2 {
+		t.Errorf("LockOps = %d, want 2", st.LockOps)
+	}
+	if st.SyncOps != 1 {
+		t.Errorf("SyncOps = %d, want 1", st.SyncOps)
+	}
+	if st.AtomicOps != 1 {
+		t.Errorf("AtomicOps = %d, want 1", st.AtomicOps)
+	}
+	if st.BarrierOps != 1 {
+		t.Errorf("BarrierOps = %d, want 1", st.BarrierOps)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "noprocs", ClockHz: 1e6, Procs: 0},
+		{Name: "noclock", ClockHz: 0, Procs: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg, &unitModel{})
+		}()
+	}
+}

@@ -1,0 +1,147 @@
+// Package mem models a simulated machine address space.
+//
+// Benchmarks do their real computation in ordinary Go memory; what they give
+// the machine models is a description of the memory traffic that computation
+// would generate: which named region, at what offset, with what stride and
+// count. Machine models price that traffic (cache hits and misses on the
+// conventional SMPs; bank/network bandwidth and latency on the Tera MTA).
+//
+// Regions are allocated from a Space with bump allocation and never freed:
+// the benchmark programs in this repository allocate their arrays up front,
+// exactly like the C originals.
+package mem
+
+import "fmt"
+
+// Addr is a byte address in the simulated flat address space.
+type Addr uint64
+
+// Space is a simulated address space. The zero value is not usable; create
+// one with NewSpace.
+type Space struct {
+	next    Addr
+	regions []*Region
+}
+
+// NewSpace returns an empty address space. Allocation starts above address
+// zero so that Addr(0) is never a valid data address.
+func NewSpace() *Space {
+	return &Space{next: 4096}
+}
+
+// Region is a contiguous named allocation, analogous to one of the C
+// benchmark's arrays.
+type Region struct {
+	Name string
+	Base Addr
+	Size uint64
+}
+
+// Alloc reserves size bytes and returns the region. Allocations are aligned
+// to 64 bytes so regions never share a cache line.
+func (s *Space) Alloc(name string, size uint64) *Region {
+	if size == 0 {
+		size = 1
+	}
+	const align = 64
+	base := (s.next + align - 1) / align * align
+	r := &Region{Name: name, Base: base, Size: size}
+	s.next = base + Addr(size)
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// Regions returns all allocations in allocation order.
+func (s *Space) Regions() []*Region { return s.regions }
+
+// Bytes returns the total bytes allocated.
+func (s *Space) Bytes() uint64 { return uint64(s.next) }
+
+// Addr returns the address of byte offset off within the region. It panics
+// if off is out of range — that is a simulation programming bug.
+func (r *Region) Addr(off uint64) Addr {
+	if off >= r.Size {
+		panic(fmt.Sprintf("mem: offset %d out of range in region %q (size %d)", off, r.Name, r.Size))
+	}
+	return r.Base + Addr(off)
+}
+
+// End returns one past the last address of the region.
+func (r *Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether a falls inside the region.
+func (r *Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Overlaps reports whether two regions share any address.
+func (r *Region) Overlaps(o *Region) bool {
+	return r.Base < o.End() && o.Base < r.End()
+}
+
+// Burst describes n strided accesses to a region: the access pattern of a
+// loop like `for i := 0; i < n; i++ { use(a[off + i*stride]) }`. Stride and
+// offset are in bytes. Write distinguishes stores from loads.
+//
+// Dep marks the accesses as serially dependent loads: each one must complete
+// before the next useful instruction (pointer chasing, scalar loads feeding
+// branches). On a cached machine dependent loads usually hit and cost
+// nothing beyond their instruction; on the cache-less Tera MTA each one
+// exposes the full memory latency to its stream — the architectural reason
+// single-threaded code runs so slowly there.
+type Burst struct {
+	Region *Region
+	Offset uint64 // starting byte offset within Region
+	Stride uint64 // bytes between consecutive accesses (0 = same address)
+	Elem   uint64 // bytes per access (defaults to 8 if zero)
+	N      int    // number of accesses
+	Write  bool
+	Dep    bool // serially dependent (latency-exposed) accesses
+}
+
+// ElemSize returns the access width, defaulting to 8 bytes.
+func (b Burst) ElemSize() uint64 {
+	if b.Elem == 0 {
+		return 8
+	}
+	return b.Elem
+}
+
+// Span returns the number of bytes between the first byte touched and one
+// past the last byte touched.
+func (b Burst) Span() uint64 {
+	if b.N <= 0 {
+		return 0
+	}
+	return uint64(b.N-1)*b.Stride + b.ElemSize()
+}
+
+// Validate panics if the burst runs outside its region; machine models call
+// this on entry so traffic bugs surface immediately.
+func (b Burst) Validate() {
+	if b.N < 0 {
+		panic(fmt.Sprintf("mem: burst with negative count %d on %q", b.N, b.Region.Name))
+	}
+	if b.N == 0 {
+		return
+	}
+	if b.Region == nil {
+		panic("mem: burst with nil region")
+	}
+	if b.Offset+b.Span() > b.Region.Size {
+		panic(fmt.Sprintf("mem: burst [off=%d stride=%d n=%d elem=%d] overruns region %q (size %d)",
+			b.Offset, b.Stride, b.N, b.ElemSize(), b.Region.Name, b.Region.Size))
+	}
+}
+
+// Start returns the address of the first access.
+func (b Burst) Start() Addr { return b.Region.Addr(b.Offset) }
+
+// ReadBurst is a convenience constructor for an n-element sequential read of
+// elem-byte elements starting at byte offset off.
+func ReadBurst(r *Region, off uint64, elem uint64, n int) Burst {
+	return Burst{Region: r, Offset: off, Stride: elem, Elem: elem, N: n}
+}
+
+// WriteBurst is the store counterpart of ReadBurst.
+func WriteBurst(r *Region, off uint64, elem uint64, n int) Burst {
+	return Burst{Region: r, Offset: off, Stride: elem, Elem: elem, N: n, Write: true}
+}

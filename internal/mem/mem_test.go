@@ -1,0 +1,147 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 100)
+	b := s.Alloc("b", 200)
+	if a.Base == 0 {
+		t.Error("region allocated at address 0")
+	}
+	if a.Overlaps(b) {
+		t.Errorf("regions overlap: %+v %+v", a, b)
+	}
+	if a.Base%64 != 0 || b.Base%64 != 0 {
+		t.Errorf("regions not 64-byte aligned: %d %d", a.Base, b.Base)
+	}
+	if len(s.Regions()) != 2 {
+		t.Errorf("Regions() = %d, want 2", len(s.Regions()))
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("z", 0)
+	if r.Size == 0 {
+		t.Error("zero-size region should be rounded up to 1")
+	}
+}
+
+func TestAddrRangeCheck(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 64)
+	_ = r.Addr(63) // ok
+	defer func() {
+		if recover() == nil {
+			t.Error("Addr out of range did not panic")
+		}
+	}()
+	_ = r.Addr(64)
+}
+
+func TestContains(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 10)
+	if !r.Contains(r.Base) || !r.Contains(r.Base+9) {
+		t.Error("Contains false for in-range address")
+	}
+	if r.Contains(r.Base + 10) {
+		t.Error("Contains true for one-past-end")
+	}
+}
+
+func TestBurstSpan(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 1024)
+	b := Burst{Region: r, Offset: 0, Stride: 8, Elem: 8, N: 10}
+	if b.Span() != 80 {
+		t.Errorf("Span = %d, want 80", b.Span())
+	}
+	b2 := Burst{Region: r, Offset: 0, Stride: 16, Elem: 4, N: 3}
+	if b2.Span() != 36 { // 2*16 + 4
+		t.Errorf("Span = %d, want 36", b2.Span())
+	}
+	var empty Burst
+	if empty.Span() != 0 {
+		t.Errorf("empty burst Span = %d, want 0", empty.Span())
+	}
+}
+
+func TestBurstDefaultElem(t *testing.T) {
+	if (Burst{}).ElemSize() != 8 {
+		t.Errorf("default elem = %d, want 8", (Burst{}).ElemSize())
+	}
+}
+
+func TestBurstValidate(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 64)
+	ok := Burst{Region: r, Offset: 0, Stride: 8, Elem: 8, N: 8}
+	ok.Validate() // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Error("overrunning burst did not panic")
+		}
+	}()
+	bad := Burst{Region: r, Offset: 0, Stride: 8, Elem: 8, N: 9}
+	bad.Validate()
+}
+
+func TestBurstValidateNegativeCount(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative-count burst did not panic")
+		}
+	}()
+	Burst{Region: r, N: -1}.Validate()
+}
+
+func TestReadWriteBurstConstructors(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("r", 800)
+	rb := ReadBurst(r, 16, 8, 10)
+	if rb.Write || rb.Offset != 16 || rb.N != 10 || rb.Stride != 8 {
+		t.Errorf("ReadBurst = %+v", rb)
+	}
+	wb := WriteBurst(r, 0, 4, 5)
+	if !wb.Write || wb.ElemSize() != 4 {
+		t.Errorf("WriteBurst = %+v", wb)
+	}
+	rb.Validate()
+	wb.Validate()
+}
+
+// Property: any sequence of allocations yields pairwise-disjoint regions and
+// monotonically increasing bases.
+func TestPropertyAllocDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace()
+		n := 2 + rng.Intn(20)
+		regs := make([]*Region, n)
+		for i := range regs {
+			regs[i] = s.Alloc("r", uint64(rng.Intn(10000)))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if regs[i].Overlaps(regs[j]) {
+					return false
+				}
+			}
+			if i > 0 && regs[i].Base <= regs[i-1].Base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

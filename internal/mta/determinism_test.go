@@ -1,0 +1,108 @@
+package mta
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// TestRunsAreBitwiseDeterministic re-runs an irregular multithreaded program
+// and requires exactly identical simulated cycles — the property every
+// experiment in this repository depends on.
+func TestRunsAreBitwiseDeterministic(t *testing.T) {
+	run := func() float64 {
+		e := New(Params{Procs: 2})
+		res, err := e.Run("main", func(th *machine.Thread) {
+			r := th.Alloc("data", 1<<20)
+			var ts []*machine.Thread
+			for i := 0; i < 75; i++ {
+				i := i
+				ts = append(ts, th.Go(fmt.Sprintf("w%d", i), func(c *machine.Thread) {
+					c.Compute(int64(1000 + i*37))
+					c.Burst(mem.ReadBurst(r, uint64(i)*1024, 8, 50+i))
+					if i%3 == 0 {
+						c.Burst(mem.Burst{Region: r, Offset: 0, Stride: 8, Elem: 8, N: 5, Dep: true})
+					}
+				}))
+			}
+			th.JoinAll(ts)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	a, b, c := run(), run(), run()
+	if a != b || b != c {
+		t.Fatalf("nondeterministic cycles: %v %v %v", a, b, c)
+	}
+}
+
+// Property: compute time is exactly linear in ops for a lone stream, and
+// utilization never exceeds 1 for any mix.
+func TestPropertyComputeLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int64(1 + rng.Intn(1_000_000))
+		p := DefaultParams(1)
+		e := New(p)
+		res, err := e.Run("main", func(th *machine.Thread) { th.Compute(ops) })
+		if err != nil {
+			return false
+		}
+		want := float64(ops) / p.OpsPerInstr * p.IssueGap
+		rel := (res.Stats.Cycles - want) / want
+		return rel > -1e-9 && rel < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: issue utilization stays in [0, 1] for random stream mixes.
+func TestPropertyUtilizationBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		streams := 1 + rng.Intn(140)
+		e := New(Params{Procs: 1 + rng.Intn(2)})
+		res, err := e.Run("main", func(th *machine.Thread) {
+			r := th.Alloc("d", 1<<18)
+			var ts []*machine.Thread
+			for i := 0; i < streams; i++ {
+				i := i
+				ts = append(ts, th.Go("s", func(c *machine.Thread) {
+					c.Compute(int64(100 + rngDraw(seed, i)*50))
+					c.Burst(mem.ReadBurst(r, 0, 8, 10))
+				}))
+			}
+			th.JoinAll(ts)
+		})
+		if err != nil {
+			return false
+		}
+		for _, u := range res.Stats.ProcUtil {
+			if u < 0 || u > 1+1e-9 {
+				return false
+			}
+		}
+		if res.Stats.MemUtil < 0 || res.Stats.MemUtil > 1+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// rngDraw is a tiny deterministic hash so per-stream work varies without
+// sharing a rand.Rand across goroutine boundaries.
+func rngDraw(seed int64, i int) int {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	return int(x % 17)
+}

@@ -1,0 +1,66 @@
+// Package platforms is the registry of the paper's four evaluation platforms
+// (Table 1 of the paper), mapping each to its machine model constructor.
+package platforms
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mta"
+	"repro/internal/smp"
+)
+
+// Spec describes one platform from the paper's Table 1.
+type Spec struct {
+	Key         string // short CLI name
+	Name        string // paper's machine name
+	Processors  string // paper's processor description
+	MemoryBytes uint64 // paper's memory column
+	OS          string // paper's operating system column
+	MaxProcs    int
+	New         func(procs int) *machine.Engine
+}
+
+// All returns the four platforms in the paper's order.
+func All() []Spec {
+	return []Spec{
+		{
+			Key: "alpha", Name: "Digital AlphaStation",
+			Processors:  "1 x 500 MHz Digital Alpha 21164A",
+			MemoryBytes: 500 << 20, OS: "Digital Unix 4.0C",
+			MaxProcs: 1,
+			New:      func(procs int) *machine.Engine { return smp.New(smp.AlphaStation()) },
+		},
+		{
+			Key: "ppro", Name: "NeTpower Sparta",
+			Processors:  "4 x 200 MHz Intel Pentium Pro",
+			MemoryBytes: 500 << 20, OS: "Windows NT 4.0",
+			MaxProcs: 4,
+			New:      func(procs int) *machine.Engine { return smp.New(smp.PentiumProSMP(procs)) },
+		},
+		{
+			Key: "exemplar", Name: "Hewlett-Packard Exemplar",
+			Processors:  "16 x 180 MHz HP PA-8000",
+			MemoryBytes: 4 << 30, OS: "SPP-UX 5.3",
+			MaxProcs: 16,
+			New:      func(procs int) *machine.Engine { return smp.New(smp.Exemplar(procs)) },
+		},
+		{
+			Key: "tera", Name: "Tera MTA",
+			Processors:  "2 x 255 MHz Tera MTA-1",
+			MemoryBytes: 2 << 30, OS: "Carlos",
+			MaxProcs: 2,
+			New:      func(procs int) *machine.Engine { return mta.New(mta.Params{Procs: procs}) },
+		},
+	}
+}
+
+// Get returns the platform with the given key.
+func Get(key string) (Spec, error) {
+	for _, s := range All() {
+		if s.Key == key {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("platforms: unknown platform %q", key)
+}

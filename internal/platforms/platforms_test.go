@@ -1,0 +1,69 @@
+package platforms
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestAllPlatformsConstruct(t *testing.T) {
+	for _, s := range All() {
+		e := s.New(1)
+		if e == nil {
+			t.Fatalf("%s: nil engine", s.Key)
+		}
+		if e.Config().Procs != 1 {
+			t.Errorf("%s: procs = %d, want 1", s.Key, e.Config().Procs)
+		}
+		res, err := e.Run("smoke", func(th *machine.Thread) { th.Compute(1000) })
+		if err != nil {
+			t.Fatalf("%s: %v", s.Key, err)
+		}
+		if res.Seconds <= 0 {
+			t.Errorf("%s: zero simulated time", s.Key)
+		}
+	}
+}
+
+func TestMaxProcsMatchPaperTable1(t *testing.T) {
+	want := map[string]int{"alpha": 1, "ppro": 4, "exemplar": 16, "tera": 2}
+	for _, s := range All() {
+		if s.MaxProcs != want[s.Key] {
+			t.Errorf("%s: MaxProcs = %d, want %d", s.Key, s.MaxProcs, want[s.Key])
+		}
+	}
+}
+
+func TestMemorySizesMatchPaperTable1(t *testing.T) {
+	want := map[string]uint64{
+		"alpha":    500 << 20,
+		"ppro":     500 << 20,
+		"exemplar": 4 << 30,
+		"tera":     2 << 30,
+	}
+	for _, s := range All() {
+		if s.MemoryBytes != want[s.Key] {
+			t.Errorf("%s: memory = %d, want %d", s.Key, s.MemoryBytes, want[s.Key])
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	s, err := Get("tera")
+	if err != nil || s.Name != "Tera MTA" {
+		t.Errorf("Get(tera) = %+v, %v", s, err)
+	}
+	if _, err := Get("cray"); err == nil {
+		t.Error("Get(cray) did not fail")
+	}
+}
+
+func TestClockRatesMatchPaper(t *testing.T) {
+	want := map[string]float64{"alpha": 500e6, "ppro": 200e6, "exemplar": 180e6, "tera": 255e6}
+	for _, s := range All() {
+		e := s.New(1)
+		if hz := e.Config().ClockHz; hz != want[s.Key] {
+			t.Errorf("%s: clock = %g, want %g", s.Key, hz, want[s.Key])
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package psq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkServeSequential measures back-to-back service requests from one
+// client (timer scheduling + completion per request).
+func BenchmarkServeSequential(b *testing.B) {
+	k := sim.NewKernel()
+	q := New(k, "bench", 1.0, 0)
+	k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Serve(p, 5)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServeContended measures service with many concurrent clients
+// (rate recomputation on every arrival/departure).
+func BenchmarkServeContended(b *testing.B) {
+	k := sim.NewKernel()
+	q := New(k, "bench", 1.0, 1.0/21)
+	const clients = 64
+	per := b.N/clients + 1
+	for i := 0; i < clients; i++ {
+		k.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+			for j := 0; j < per; j++ {
+				q.Serve(p, 3)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

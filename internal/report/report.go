@@ -1,0 +1,282 @@
+// Package report renders the reproduction's results in the paper's formats:
+// numbered tables (execution times, speedups, comparisons) and speedup
+// figures, as ASCII for terminals plus Markdown and CSV for documents.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a paper-style results table.
+type Table struct {
+	ID      string // e.g. "table5"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatSeconds(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatSeconds renders a duration in seconds the way the paper does:
+// whole seconds for large values, one decimal under ten.
+func FormatSeconds(s float64) string {
+	switch {
+	case math.IsInf(s, 0) || math.IsNaN(s):
+		return "—"
+	case s >= 100:
+		return fmt.Sprintf("%.0f", s)
+	case s >= 10:
+		return fmt.Sprintf("%.1f", s)
+	default:
+		return fmt.Sprintf("%.2f", s)
+	}
+}
+
+// FormatSpeedup renders a speedup with one decimal, like the paper's tables.
+func FormatSpeedup(s float64) string {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return "N.A."
+	}
+	return fmt.Sprintf("%.1f", s)
+}
+
+// Render draws the table with box-drawing rules for terminal output.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s: %s\n", strings.ToUpper(t.ID), t.Title)
+	}
+	line := func(l, m, r string) {
+		sb.WriteString(l)
+		for i, w := range widths {
+			sb.WriteString(strings.Repeat("─", w+2))
+			if i < len(widths)-1 {
+				sb.WriteString(m)
+			}
+		}
+		sb.WriteString(r + "\n")
+	}
+	writeRow := func(cells []string) {
+		sb.WriteString("│")
+		for i, w := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			pad := w - len([]rune(cell))
+			sb.WriteString(" " + cell + strings.Repeat(" ", pad) + " │")
+		}
+		sb.WriteString("\n")
+	}
+	line("┌", "┬", "┐")
+	writeRow(t.Columns)
+	line("├", "┼", "┤")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	line("└", "┴", "┘")
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		id := t.ID
+		if id != "" {
+			id = strings.ToUpper(id[:1]) + id[1:]
+		}
+		fmt.Fprintf(&sb, "**%s: %s**\n\n", id, t.Title)
+	}
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*note: %s*\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (cells with commas are
+// quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	sb.WriteString(strings.Join(cols, ",") + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		sb.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return sb.String()
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	Marker rune
+	X, Y   []float64
+}
+
+// Figure is a paper-style speedup plot rendered in ASCII.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render draws the figure on a width×height character canvas with axes,
+// ticks and a legend.
+func (f *Figure) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymax = 0, 1, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	ymax *= 1.05
+
+	canvas := make([][]rune, height)
+	for i := range canvas {
+		canvas[i] = []rune(strings.Repeat(" ", width))
+	}
+	plotX := func(x float64) int {
+		return int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+	}
+	plotY := func(y float64) int {
+		return height - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1)))
+	}
+	for _, s := range f.Series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		// Connect consecutive points with interpolated markers.
+		for i := 0; i+1 < len(s.X); i++ {
+			x0, y0 := plotX(s.X[i]), plotY(s.Y[i])
+			x1, y1 := plotX(s.X[i+1]), plotY(s.Y[i+1])
+			steps := maxInt(absInt(x1-x0), absInt(y1-y0))
+			for k := 0; k <= steps; k++ {
+				var xx, yy int
+				if steps == 0 {
+					xx, yy = x0, y0
+				} else {
+					xx = x0 + (x1-x0)*k/steps
+					yy = y0 + (y1-y0)*k/steps
+				}
+				if yy >= 0 && yy < height && xx >= 0 && xx < width {
+					canvas[yy][xx] = '·'
+				}
+			}
+		}
+		for i := range s.X {
+			xx, yy := plotX(s.X[i]), plotY(s.Y[i])
+			if yy >= 0 && yy < height && xx >= 0 && xx < width {
+				canvas[yy][xx] = m
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&sb, "%s: %s\n", strings.ToUpper(f.ID), f.Title)
+	}
+	for i, row := range canvas {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.1f ", ymax)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%7.1f ", ymin)
+		} else if i == height/2 {
+			label = fmt.Sprintf("%7.1f ", ymin+(ymax-ymin)/2)
+		}
+		sb.WriteString(label + "│" + string(row) + "\n")
+	}
+	sb.WriteString("        └" + strings.Repeat("─", width) + "\n")
+	fmt.Fprintf(&sb, "        %-8.4g%s%8.4g\n", xmin, strings.Repeat(" ", maxInt(width-16, 1)), xmax)
+	fmt.Fprintf(&sb, "        x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		fmt.Fprintf(&sb, "        %c %s\n", m, s.Label)
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "table5",
+		Title:   "Execution time of multithreaded Threat Analysis on dual-processor Tera MTA",
+		Columns: []string{"Number of Processors", "Time (seconds)", "Speedup"},
+	}
+	t.AddRow(1, 82.0, FormatSpeedup(1.0))
+	t.AddRow(2, 46.0, FormatSpeedup(82.0/46.0))
+	t.Notes = append(t.Notes, "256 chunks")
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	out := sample().Render()
+	for _, want := range []string{"TABLE5", "Number of Processors", "82.0", "46.0", "1.8", "note: 256 chunks", "│", "┌"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + rule rows: consistent width.
+	w := len([]rune(lines[1]))
+	for _, l := range lines[1:6] {
+		if len([]rune(l)) != w {
+			t.Errorf("ragged table output:\n%s", out)
+			break
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.Contains(out, "| Number of Processors | Time (seconds) | Speedup |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Errorf("markdown rule missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if lines[1] != "1,82.0,1.0" {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{ID: "x", Columns: []string{"a,b", `q"t`}}
+	tb.AddRow("v,1", "plain")
+	out := tb.CSV()
+	if !strings.Contains(out, `"a,b"`) || !strings.Contains(out, `"q""t"`) || !strings.Contains(out, `"v,1"`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		2584: "2584",
+		187:  "187",
+		46:   "46.0",
+		9.95: "9.95",
+		0.5:  "0.50",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		ID:     "figure2",
+		Title:  "Speedup of multithreaded Threat Analysis on 16-processor Exemplar",
+		XLabel: "processors",
+		YLabel: "speedup",
+		Series: []Series{
+			{Label: "measured", Marker: '*', X: []float64{1, 4, 8, 16}, Y: []float64{1, 3.9, 7.9, 15.4}},
+			{Label: "ideal", Marker: '+', X: []float64{1, 16}, Y: []float64{1, 16}},
+		},
+	}
+	out := f.Render(48, 14)
+	for _, want := range []string{"FIGURE2", "*", "+", "measured", "ideal", "processors", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureDegenerate(t *testing.T) {
+	// Empty and single-point figures must not panic or divide by zero.
+	(&Figure{ID: "f", Series: nil}).Render(30, 10)
+	(&Figure{ID: "f", Series: []Series{{X: []float64{2}, Y: []float64{5}}}}).Render(30, 10)
+}
+
+func TestTableRaggedRowsTolerated(t *testing.T) {
+	tb := &Table{ID: "r", Columns: []string{"a", "b", "c"}}
+	tb.Rows = append(tb.Rows, []string{"only-one"})
+	out := tb.Render() // must not panic
+	if !strings.Contains(out, "only-one") {
+		t.Error("row lost")
+	}
+}

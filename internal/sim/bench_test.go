@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw kernel event processing: one proc
+// sleeping repeatedly (schedule + heap + context switch per event).
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkManyProcsRoundRobin measures switching across many procs.
+func BenchmarkManyProcsRoundRobin(b *testing.B) {
+	k := NewKernel()
+	const procs = 100
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		k.Spawn("p", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				p.Sleep(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWaitQWake measures park/wake pairs through a WaitQ.
+func BenchmarkWaitQWake(b *testing.B) {
+	k := NewKernel()
+	q := NewWaitQ("bench")
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Wait(p, "turn")
+		}
+	})
+	k.Spawn("waker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			for !q.WakeOne(p.Kernel()) {
+				p.Sleep(1)
+			}
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock measured in machine cycles and an event
+// queue ordered by (time, insertion sequence), so simulations are exactly
+// reproducible. Simulated threads of control ("procs") are coroutines: each
+// proc runs on its own goroutine but strictly alternates with the kernel, so
+// at most one goroutine in the simulation is ever runnable. Procs advance
+// the clock only by calling Sleep, or by parking on a WaitQ until another
+// proc (or a kernel callback) wakes them.
+//
+// The kernel detects deadlock (live procs but no pending events) and reports
+// it as an error rather than hanging. Shutdown kills all live procs so no
+// goroutines leak even after an error.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in cycles. Fractional cycles are permitted; they
+// arise from fluid resource models (see package psq).
+type Time = float64
+
+// procState tracks where a proc is in its lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateSleeping
+	stateParked
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateParked:
+		return "parked"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// event is a scheduled occurrence: either resuming a proc or invoking a
+// kernel-side callback (which must not block).
+type event struct {
+	t        Time
+	seq      uint64
+	proc     *Proc  // non-nil: resume this proc
+	fn       func() // non-nil: kernel callback
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation engine. Create one with NewKernel,
+// spawn procs, then call Run. A Kernel must not be reused after Run returns.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	live   int // procs spawned and not yet done
+
+	yield   chan struct{} // proc -> kernel baton
+	running bool          // inside Run
+	closed  bool
+	trap    interface{} // panic value captured from a proc
+
+	procs []*Proc // all spawned procs, for diagnostics and shutdown
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in cycles.
+func (k *Kernel) Now() Time { return k.now }
+
+// nextSeq returns a fresh FIFO tiebreak sequence number.
+func (k *Kernel) nextSeq() uint64 {
+	k.seq++
+	return k.seq
+}
+
+// schedule inserts an event and returns it (for cancellation).
+func (k *Kernel) schedule(t Time, p *Proc, fn func()) *event {
+	if t < k.now {
+		t = k.now
+	}
+	e := &event{t: t, seq: k.nextSeq(), proc: p, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Timer is a cancellable kernel callback handle returned by At/After.
+type Timer struct{ e *event }
+
+// Cancel prevents the timer's callback from running. Safe to call more than
+// once, and safe to call after the callback has fired.
+func (t *Timer) Cancel() {
+	if t != nil && t.e != nil {
+		t.e.canceled = true
+	}
+}
+
+// At schedules fn to run kernel-side at absolute time t (clamped to now).
+// fn must not block; it may schedule further events and wake procs.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	return &Timer{e: k.schedule(t, nil, fn)}
+}
+
+// After schedules fn to run kernel-side d cycles from now.
+func (k *Kernel) After(d Time, fn func()) *Timer {
+	return k.At(k.now+d, fn)
+}
+
+// Proc is a simulated thread of control. Procs may only call their methods
+// from inside their own body function.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     int
+	resume chan resumeMsg
+	state  procState
+	why    string // park reason, for deadlock diagnostics
+	killed bool
+}
+
+type resumeMsg struct{ kill bool }
+
+// killPanic is the sentinel used to unwind a killed proc's stack.
+type killPanic struct{}
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the proc's spawn-ordered identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Spawn creates a proc that will begin executing fn at the current virtual
+// time (after already-scheduled events at this time). It may be called
+// before Run or from inside a running proc or kernel callback.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	if k.closed {
+		panic("sim: Spawn on closed kernel")
+	}
+	p := &Proc{k: k, name: name, id: len(k.procs), resume: make(chan resumeMsg), state: stateNew}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		msg := <-p.resume
+		if !msg.kill {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(killPanic); !ok {
+							// Forward the panic to the kernel; Run re-panics
+							// on its caller's goroutine after shutdown.
+							if k.trap == nil {
+								k.trap = fmt.Sprintf("sim: proc %q panicked: %v", p.name, r)
+							}
+						}
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.state = stateDone
+		k.live--
+		k.yield <- struct{}{}
+	}()
+	k.schedule(k.now, p, nil)
+	p.state = stateRunnable
+	return p
+}
+
+// yieldToKernel hands the baton back and waits to be resumed. Must only be
+// called from the proc's own goroutine, after recording why it is blocked.
+func (p *Proc) yieldToKernel() {
+	p.k.yield <- struct{}{}
+	msg := <-p.resume
+	if msg.kill {
+		p.killed = true
+		panic(killPanic{})
+	}
+	p.state = stateRunning
+}
+
+// Sleep advances the proc's local time by d cycles (d < 0 is treated as 0).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now+d, p, nil)
+	p.state = stateSleeping
+	p.why = ""
+	p.yieldToKernel()
+}
+
+// SleepUntil advances the proc's local time to absolute time t (if in the
+// future).
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.k.now {
+		t = p.k.now
+	}
+	p.k.schedule(t, p, nil)
+	p.state = stateSleeping
+	p.why = ""
+	p.yieldToKernel()
+}
+
+// park blocks the proc with no pending event; something else must Unpark it.
+func (p *Proc) park(reason string) {
+	p.state = stateParked
+	p.why = reason
+	p.yieldToKernel()
+}
+
+// unpark schedules p to resume at the current time. It is the caller's
+// responsibility to ensure p is actually parked.
+func (k *Kernel) unpark(p *Proc) {
+	if p.state != stateParked {
+		panic(fmt.Sprintf("sim: unpark of proc %q in state %v", p.name, p.state))
+	}
+	p.state = stateRunnable
+	p.why = ""
+	k.schedule(k.now, p, nil)
+}
+
+// DeadlockError reports that live procs remain but no events are pending.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // "name (reason)" for each stuck proc
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.1f: %d procs blocked: %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events until none remain and all procs have finished. It
+// returns a *DeadlockError if procs remain blocked with no pending events.
+// In all cases every proc goroutine has exited by the time Run returns.
+func (k *Kernel) Run() error {
+	if k.running || k.closed {
+		panic("sim: Run called twice")
+	}
+	k.running = true
+	var err error
+	for {
+		if k.trap != nil {
+			break
+		}
+		if len(k.events) == 0 {
+			if k.live > 0 {
+				err = k.deadlock()
+			}
+			break
+		}
+		e := heap.Pop(&k.events).(*event)
+		if e.canceled {
+			continue
+		}
+		if e.t > k.now {
+			k.now = e.t
+		}
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		p := e.proc
+		if p.state == stateDone {
+			continue // stale wake of a finished proc
+		}
+		p.state = stateRunning
+		p.resume <- resumeMsg{}
+		<-k.yield
+	}
+	k.shutdown()
+	if k.trap != nil {
+		panic(k.trap)
+	}
+	return err
+}
+
+// deadlock builds the diagnostic error for stuck procs.
+func (k *Kernel) deadlock() error {
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state != stateDone {
+			why := p.why
+			if why == "" {
+				why = p.state.String()
+			}
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, why))
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Time: k.now, Blocked: blocked}
+}
+
+// shutdown kills every live proc so their goroutines exit.
+func (k *Kernel) shutdown() {
+	k.closed = true
+	for _, p := range k.procs {
+		if p.state == stateDone || p.state == stateNew {
+			continue
+		}
+		p.resume <- resumeMsg{kill: true}
+		<-k.yield
+	}
+}
+
+// WaitQ is a FIFO queue of parked procs, the building block for locks,
+// condition variables, full/empty cells and resource queues.
+type WaitQ struct {
+	name string
+	q    []*Proc
+}
+
+// NewWaitQ returns an empty wait queue with a diagnostic name.
+func NewWaitQ(name string) *WaitQ { return &WaitQ{name: name} }
+
+// Len reports how many procs are parked on the queue.
+func (w *WaitQ) Len() int { return len(w.q) }
+
+// Wait parks p at the tail of the queue until woken. reason augments
+// deadlock diagnostics.
+func (w *WaitQ) Wait(p *Proc, reason string) {
+	w.q = append(w.q, p)
+	p.park(w.name + ": " + reason)
+}
+
+// WakeOne resumes the proc at the head of the queue, if any, and reports
+// whether one was woken. The proc resumes at the current virtual time.
+func (w *WaitQ) WakeOne(k *Kernel) bool {
+	if len(w.q) == 0 {
+		return false
+	}
+	p := w.q[0]
+	copy(w.q, w.q[1:])
+	w.q[len(w.q)-1] = nil
+	w.q = w.q[:len(w.q)-1]
+	k.unpark(p)
+	return true
+}
+
+// WakeAll resumes every parked proc in FIFO order and returns the count.
+func (w *WaitQ) WakeAll(k *Kernel) int {
+	n := len(w.q)
+	for i, p := range w.q {
+		k.unpark(p)
+		w.q[i] = nil
+	}
+	w.q = w.q[:0]
+	return n
+}

@@ -1,0 +1,102 @@
+package smp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// TestRunsAreBitwiseDeterministic mirrors the MTA determinism test for the
+// conventional models: identical programs must produce identical cycles.
+func TestRunsAreBitwiseDeterministic(t *testing.T) {
+	run := func() float64 {
+		e := New(Exemplar(8))
+		res, err := e.Run("main", func(th *machine.Thread) {
+			r := th.Alloc("data", 4<<20)
+			l := th.NewLock("l")
+			var ts []*machine.Thread
+			for i := 0; i < 24; i++ {
+				i := i
+				ts = append(ts, th.Go(fmt.Sprintf("w%d", i), func(c *machine.Thread) {
+					c.Compute(int64(5000 + i*311))
+					c.Burst(mem.ReadBurst(r, uint64(i)*8192, 8, 400))
+					l.Lock(c)
+					c.Compute(100)
+					l.Unlock(c)
+				}))
+			}
+			th.JoinAll(ts)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic cycles: %v vs %v", a, b)
+	}
+}
+
+// Property: adding memory traffic never makes a run faster, and utilization
+// stays bounded.
+func TestPropertyMoreTrafficNeverFaster(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5000)
+		run := func(extra int) float64 {
+			e := New(PentiumProSMP(2))
+			res, err := e.Run("main", func(th *machine.Thread) {
+				r := th.Alloc("data", 8<<20)
+				th.Compute(10_000)
+				th.Burst(mem.ReadBurst(r, 0, 8, n))
+				if extra > 0 {
+					th.Burst(mem.ReadBurst(r, 4<<20, 8, extra))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Stats.Cycles
+		}
+		base := run(0)
+		more := run(1 + rng.Intn(5000))
+		return more >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cache hit/miss split conserves references across random bursts
+// issued through a full machine run (end-to-end accounting).
+func TestPropertyStatsConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var refs int64
+		e := New(AlphaStation())
+		res, err := e.Run("main", func(th *machine.Thread) {
+			r := th.Alloc("data", 2<<20)
+			for i := 0; i < 10; i++ {
+				n := rng.Intn(2000)
+				off := uint64(rng.Intn(1 << 20))
+				th.Burst(mem.ReadBurst(r, off, 8, n))
+				refs += int64(n)
+			}
+		})
+		if err != nil {
+			return false
+		}
+		if res.Stats.MemRefs != refs {
+			return false
+		}
+		return res.Stats.CacheHits+res.Stats.CacheMisses == refs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package smp models the paper's conventional platforms: a fast cached
+// uniprocessor (Digital AlphaStation 500 MHz 21164A), a commodity
+// quad-processor SMP (NeTpower Sparta, 4×200 MHz Pentium Pro under Windows
+// NT), and a shared-memory multiprocessor supercomputer (HP Exemplar,
+// 16×180 MHz PA-8000).
+//
+// Each processor executes at an effective rate of OpsPerCycle for
+// cache-resident code; threads assigned to the same processor time-share it.
+// Data traffic runs through a per-processor cache model (package cache);
+// misses pay DRAM latency (divided by the processor's memory-level
+// parallelism for pipelined bursts, undivided for serially-dependent loads)
+// and transfer a line across a shared bus modeled as a processor-sharing
+// queue — the resource whose saturation caps Terrain Masking's speedup in
+// the paper ("memory-bound, causing contention between threads for access to
+// shared memory").
+//
+// Thread and synchronization costs are the conventional-OS ones the paper
+// contrasts with the MTA: thread creation "costs tens of thousands to
+// hundreds of thousands of cycles and thread synchronization costs hundreds
+// to thousands of cycles". Full/empty synchronization variables are emulated
+// with a lock and condition variable at SyncVarCost — usable, but three
+// orders of magnitude more expensive than the MTA's, which is why
+// fine-grained styles are impractical on these machines.
+package smp
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/psq"
+)
+
+// Params configures a conventional SMP model.
+type Params struct {
+	Name             string
+	Procs            int
+	ClockHz          float64
+	OpsPerCycle      float64 // effective execution rate for cache-resident code
+	CacheBytes       uint64  // per-processor cache capacity
+	LineBytes        uint64  // miss transfer unit
+	GranuleBytes     uint64  // cache-model residency granule
+	DRAMLatency      float64 // miss latency in cycles
+	MLP              float64 // overlapped misses for pipelined bursts
+	BusBytesPerCycle float64 // aggregate bus/interconnect bandwidth
+	ThreadCreate     float64 // OS thread create+start cost, cycles
+	LockCost         float64 // lock or unlock, cycles
+	SyncVarCost      float64 // emulated full/empty operation, cycles
+	AtomicCost       float64 // bus-locked read-modify-write, cycles
+	BarrierCost      float64 // per-arrival barrier cost, cycles
+}
+
+// dramNanos is the memory latency in nanoseconds assumed for all three
+// conventional platforms (mid-1990s DRAM); each preset converts it to cycles
+// at its own clock.
+const dramNanos = 150
+
+func cyclesAt(hz float64) float64 { return dramNanos * 1e-9 * hz }
+
+// AlphaStation returns the Digital AlphaStation 500 MHz model: the paper's
+// "fast execution on a top-of-the-line conventional processor".
+func AlphaStation() Params {
+	const hz = 500e6
+	return Params{
+		Name:             "Alpha",
+		Procs:            1,
+		ClockHz:          hz,
+		OpsPerCycle:      1.0,
+		CacheBytes:       1 << 20, // board-level cache (smaller than TM's working set)
+		LineBytes:        64,
+		GranuleBytes:     2048,
+		DRAMLatency:      cyclesAt(hz),
+		MLP:              1.15, // in-order 21164A: little overlap between misses
+		BusBytesPerCycle: 8,
+		ThreadCreate:     100_000,
+		LockCost:         200,
+		SyncVarCost:      1_200,
+		AtomicCost:       120,
+		BarrierCost:      400,
+	}
+}
+
+// PentiumProSMP returns the NeTpower Sparta model: 4×200 MHz Pentium Pro
+// with one shared snooping bus, under Windows NT with the Caltech Sthreads
+// library.
+func PentiumProSMP(procs int) Params {
+	const hz = 200e6
+	return Params{
+		Name:             "Pentium Pro",
+		Procs:            procs,
+		ClockHz:          hz,
+		OpsPerCycle:      1.0,
+		CacheBytes:       256 << 10, // 256 KB L2 per package
+		LineBytes:        32,
+		GranuleBytes:     1024,
+		DRAMLatency:      cyclesAt(hz),
+		MLP:              4,       // out-of-order P6 core overlaps misses well
+		BusBytesPerCycle: 2.67,    // 66 MHz × 8 B P6 front-side bus
+		ThreadCreate:     200_000, // Win32 CreateThread + startup (~1 ms)
+		LockCost:         300,
+		SyncVarCost:      1_800,
+		AtomicCost:       150,
+		BarrierCost:      500,
+	}
+}
+
+// Exemplar returns the HP Exemplar model: up to 16×180 MHz PA-8000 with a
+// higher-bandwidth (but still saturable) shared-memory interconnect and the
+// Exemplar shared-memory programming pragmas.
+func Exemplar(procs int) Params {
+	const hz = 180e6
+	return Params{
+		Name:             "Exemplar",
+		Procs:            procs,
+		ClockHz:          hz,
+		OpsPerCycle:      1.5, // 4-way out-of-order PA-8000
+		CacheBytes:       1 << 20,
+		LineBytes:        32,
+		GranuleBytes:     1024,
+		DRAMLatency:      cyclesAt(hz),
+		MLP:              1.0, // crossbar hop leaves no miss overlap
+		BusBytesPerCycle: 5.5, // crossbar-class interconnect, still saturable
+		ThreadCreate:     150_000,
+		LockCost:         250,
+		SyncVarCost:      1_500,
+		AtomicCost:       140,
+		BarrierCost:      450,
+	}
+}
+
+// Model implements machine.Model for conventional cached SMPs.
+type Model struct {
+	p Params
+
+	e      *machine.Engine
+	exec   []*psq.Queue   // per-processor execution (time-shared, uncapped)
+	caches []*cache.Cache // per-processor cache
+	bus    *psq.Queue     // shared memory bus, units = bytes
+
+	next int // round-robin thread placement
+}
+
+var _ machine.Model = (*Model)(nil)
+
+// New creates a conventional SMP machine from the given parameters.
+func New(p Params) *machine.Engine {
+	if p.Procs < 1 {
+		p.Procs = 1
+	}
+	m := &Model{p: p}
+	name := p.Name
+	if p.Procs > 1 {
+		name = fmt.Sprintf("%s (%d proc)", p.Name, p.Procs)
+	}
+	cfg := machine.Config{Name: name, ClockHz: p.ClockHz, Procs: p.Procs}
+	return machine.New(cfg, m)
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.p }
+
+// Init implements machine.Model.
+func (m *Model) Init(e *machine.Engine) {
+	m.e = e
+	m.exec = make([]*psq.Queue, m.p.Procs)
+	m.caches = make([]*cache.Cache, m.p.Procs)
+	for i := 0; i < m.p.Procs; i++ {
+		m.exec[i] = psq.New(e.Kern, fmt.Sprintf("%s exec p%d", m.p.Name, i), m.p.OpsPerCycle, 0)
+		m.caches[i] = cache.New(m.p.CacheBytes, m.p.LineBytes, m.p.GranuleBytes)
+	}
+	m.bus = psq.New(e.Kern, m.p.Name+" bus", m.p.BusBytesPerCycle, 0)
+}
+
+// Compute implements machine.Model: ops time-share the thread's processor.
+func (m *Model) Compute(t *machine.Thread, ops int64) {
+	m.exec[t.Proc].Serve(t.P, float64(ops))
+}
+
+// Memory implements machine.Model. Cache hits cost nothing beyond the
+// instructions already charged via Compute; misses transfer lines over the
+// shared bus and stall for DRAM latency (fully for dependent loads,
+// overlapped by MLP for pipelined bursts).
+func (m *Model) Memory(t *machine.Thread, b mem.Burst) {
+	_, misses := m.caches[t.Proc].AccessBurst(b)
+	if misses == 0 {
+		return
+	}
+	m.bus.Serve(t.P, float64(misses)*float64(m.p.LineBytes))
+	if b.Write {
+		return // write-buffered: no stall beyond bus occupancy
+	}
+	stall := float64(misses) * m.p.DRAMLatency
+	if !b.Dep && m.p.MLP > 1 {
+		stall /= m.p.MLP
+	}
+	t.P.Sleep(stall)
+}
+
+// SyncTouch implements machine.Model: emulated full/empty operation
+// (lock + condition variable) — hundreds to thousands of cycles.
+func (m *Model) SyncTouch(t *machine.Thread) {
+	m.exec[t.Proc].Serve(t.P, m.p.SyncVarCost*m.p.OpsPerCycle)
+	m.bus.Serve(t.P, float64(m.p.LineBytes))
+}
+
+// AtomicTouch implements machine.Model: bus-locked read-modify-write.
+func (m *Model) AtomicTouch(t *machine.Thread) {
+	m.exec[t.Proc].Serve(t.P, m.p.AtomicCost*m.p.OpsPerCycle)
+	m.bus.Serve(t.P, float64(m.p.LineBytes))
+}
+
+// LockTouch implements machine.Model.
+func (m *Model) LockTouch(t *machine.Thread) {
+	m.exec[t.Proc].Serve(t.P, m.p.LockCost*m.p.OpsPerCycle)
+	m.bus.Serve(t.P, float64(m.p.LineBytes))
+}
+
+// BarrierTouch implements machine.Model.
+func (m *Model) BarrierTouch(t *machine.Thread) {
+	m.exec[t.Proc].Serve(t.P, m.p.BarrierCost*m.p.OpsPerCycle)
+	m.bus.Serve(t.P, float64(m.p.LineBytes))
+}
+
+// SpawnCost implements machine.Model: OS thread creation.
+func (m *Model) SpawnCost(parent *machine.Thread) {
+	parent.P.Sleep(m.p.ThreadCreate)
+}
+
+// Admit implements machine.Model: round-robin placement, time-sharing when
+// oversubscribed (the OS scheduler).
+func (m *Model) Admit(t *machine.Thread) {
+	t.Proc = m.next % m.p.Procs
+	m.next++
+}
+
+// Release implements machine.Model.
+func (m *Model) Release(t *machine.Thread) {}
+
+// Finish implements machine.Model.
+func (m *Model) Finish(st *machine.Stats) {
+	st.ProcUtil = make([]float64, len(m.exec))
+	for i, q := range m.exec {
+		st.ProcUtil[i] = q.Utilization()
+	}
+	st.MemUtil = m.bus.Utilization()
+	for _, c := range m.caches {
+		st.CacheHits += c.Hits()
+		st.CacheMisses += c.Misses()
+	}
+}

@@ -1,0 +1,283 @@
+package smp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func run(t *testing.T, p Params, fn func(*machine.Thread)) machine.Result {
+	t.Helper()
+	e := New(p)
+	res, err := e.Run("main", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestComputeRate(t *testing.T) {
+	// 1e6 ops at OpsPerCycle 1.5 → 666667 cycles.
+	p := Exemplar(1)
+	res := run(t, p, func(th *machine.Thread) { th.Compute(1_500_000) })
+	if math.Abs(res.Stats.Cycles-1e6) > 1 {
+		t.Errorf("cycles = %v, want 1e6", res.Stats.Cycles)
+	}
+}
+
+func TestClockRatiosMatchPaperSequentialOrdering(t *testing.T) {
+	// The same compute-bound work must order Alpha < Exemplar < PentiumPro in
+	// time, like the paper's sequential Threat Analysis row.
+	work := int64(10_000_000)
+	seconds := func(p Params) float64 {
+		res := run(t, p, func(th *machine.Thread) { th.Compute(work) })
+		return res.Seconds
+	}
+	alpha := seconds(AlphaStation())
+	ppro := seconds(PentiumProSMP(4))
+	exem := seconds(Exemplar(16))
+	if !(alpha < exem && exem < ppro) {
+		t.Errorf("ordering wrong: alpha=%v exemplar=%v ppro=%v", alpha, exem, ppro)
+	}
+	// Alpha at 500 MHz/IPC1 vs PPro at 200 MHz/IPC1: ratio 2.5.
+	if r := ppro / alpha; math.Abs(r-2.5) > 0.01 {
+		t.Errorf("ppro/alpha = %v, want 2.5", r)
+	}
+}
+
+func TestCacheResidentBurstsAreFree(t *testing.T) {
+	p := PentiumProSMP(1)
+	res := run(t, p, func(th *machine.Thread) {
+		r := th.Alloc("small", 64<<10)         // fits in 256 KB cache
+		th.Burst(mem.ReadBurst(r, 0, 8, 8192)) // cold pass: misses
+		base := th.NowCycles()
+		th.Burst(mem.ReadBurst(r, 0, 8, 8192)) // warm pass: all hits
+		if th.NowCycles() != base {
+			t.Errorf("warm pass cost %v cycles, want 0", th.NowCycles()-base)
+		}
+	})
+	if res.Stats.CacheHits == 0 || res.Stats.CacheMisses == 0 {
+		t.Errorf("hits=%d misses=%d, want both nonzero", res.Stats.CacheHits, res.Stats.CacheMisses)
+	}
+}
+
+func TestStreamingPaysDRAMAndBus(t *testing.T) {
+	p := PentiumProSMP(1)
+	const bytes = 1 << 20 // 4x the cache
+	n := bytes / 8
+	res := run(t, p, func(th *machine.Thread) {
+		r := th.Alloc("big", bytes)
+		th.Burst(mem.ReadBurst(r, 0, 8, n))
+	})
+	misses := float64(bytes) / float64(p.LineBytes)
+	want := misses*float64(p.LineBytes)/p.BusBytesPerCycle + misses*p.DRAMLatency/p.MLP
+	if math.Abs(res.Stats.Cycles-want)/want > 0.05 {
+		t.Errorf("cycles = %v, want ≈ %v", res.Stats.Cycles, want)
+	}
+}
+
+func TestDependentMissesDoNotOverlap(t *testing.T) {
+	p := PentiumProSMP(1)
+	const bytes = 1 << 20
+	n := bytes / 8
+	dep := run(t, p, func(th *machine.Thread) {
+		r := th.Alloc("big", bytes)
+		th.Burst(mem.Burst{Region: r, Offset: 0, Stride: 8, Elem: 8, N: n, Dep: true})
+	})
+	pipe := run(t, p, func(th *machine.Thread) {
+		r := th.Alloc("big", bytes)
+		th.Burst(mem.ReadBurst(r, 0, 8, n))
+	})
+	if dep.Stats.Cycles <= pipe.Stats.Cycles {
+		t.Errorf("dependent (%v) not slower than pipelined (%v)", dep.Stats.Cycles, pipe.Stats.Cycles)
+	}
+}
+
+func TestWritesNoStallBeyondBus(t *testing.T) {
+	p := PentiumProSMP(1)
+	const bytes = 1 << 20
+	n := bytes / 8
+	w := run(t, p, func(th *machine.Thread) {
+		r := th.Alloc("big", bytes)
+		th.Burst(mem.WriteBurst(r, 0, 8, n))
+	})
+	rd := run(t, p, func(th *machine.Thread) {
+		r := th.Alloc("big", bytes)
+		th.Burst(mem.ReadBurst(r, 0, 8, n))
+	})
+	if w.Stats.Cycles >= rd.Stats.Cycles {
+		t.Errorf("writes (%v) not cheaper than reads (%v)", w.Stats.Cycles, rd.Stats.Cycles)
+	}
+}
+
+func TestComputeBoundParallelSpeedupNearLinear(t *testing.T) {
+	// The paper's Threat Analysis result: independent cache-resident threads
+	// scale almost perfectly on the Exemplar (15.4 on 16 procs).
+	work := int64(1_600_000_000) // large enough to amortize thread creation
+	elapsed := func(procs, threads int) float64 {
+		res := run(t, Exemplar(procs), func(th *machine.Thread) {
+			var ts []*machine.Thread
+			for i := 0; i < threads; i++ {
+				ts = append(ts, th.Go(fmt.Sprintf("w%d", i), func(c *machine.Thread) {
+					c.Compute(work / int64(threads))
+				}))
+			}
+			th.JoinAll(ts)
+		})
+		return res.Stats.Cycles
+	}
+	seq := elapsed(1, 1)
+	par := elapsed(16, 16)
+	speedup := seq / par
+	if speedup < 14.5 || speedup > 16.05 {
+		t.Errorf("16-proc speedup = %v, want ≈ 15-16", speedup)
+	}
+}
+
+func TestMemoryBoundParallelSpeedupSaturates(t *testing.T) {
+	// Streaming threads on the Pentium Pro bus: speedup well under linear —
+	// the paper's Terrain Masking behaviour (3.0 on 4 processors).
+	const regionBytes = 4 << 20
+	elapsed := func(procs, threads int) float64 {
+		res := run(t, PentiumProSMP(procs), func(th *machine.Thread) {
+			var ts []*machine.Thread
+			for i := 0; i < threads; i++ {
+				i := i
+				ts = append(ts, th.Go(fmt.Sprintf("w%d", i), func(c *machine.Thread) {
+					r := c.Alloc(fmt.Sprintf("big%d", i), regionBytes)
+					for pass := 0; pass < 2; pass++ {
+						c.Compute(200_000)
+						c.Burst(mem.ReadBurst(r, 0, 8, regionBytes/8))
+					}
+				}))
+			}
+			th.JoinAll(ts)
+		})
+		return res.Stats.Cycles
+	}
+	seq := elapsed(1, 1)
+	par4 := elapsed(4, 4)
+	speedup := 4 * seq / par4 // per-thread work constant: scale to speedup
+	if speedup > 3.6 {
+		t.Errorf("4-proc memory-bound speedup = %v, want saturated (≤3.6)", speedup)
+	}
+	if speedup < 1.5 {
+		t.Errorf("4-proc memory-bound speedup = %v, implausibly low", speedup)
+	}
+}
+
+func TestTimeSharingWhenOversubscribed(t *testing.T) {
+	// Two compute threads on one processor take twice as long as one.
+	p := AlphaStation()
+	one := run(t, p, func(th *machine.Thread) {
+		c := th.Go("w", func(c *machine.Thread) { c.Compute(1_000_000) })
+		th.Join(c)
+	})
+	two := run(t, p, func(th *machine.Thread) {
+		a := th.Go("a", func(c *machine.Thread) { c.Compute(1_000_000) })
+		b := th.Go("b", func(c *machine.Thread) { c.Compute(1_000_000) })
+		th.Join(a)
+		th.Join(b)
+	})
+	r := two.Stats.Cycles / one.Stats.Cycles
+	if r < 1.9 || r > 2.1 {
+		t.Errorf("oversubscription ratio = %v, want ≈ 2", r)
+	}
+}
+
+func TestThreadCreateCostVisible(t *testing.T) {
+	// Spawning should cost tens of thousands of cycles on a conventional OS.
+	p := Exemplar(4)
+	res := run(t, p, func(th *machine.Thread) {
+		before := th.NowCycles()
+		c := th.Go("w", func(c *machine.Thread) {})
+		cost := th.NowCycles() - before
+		if cost < 10_000 {
+			t.Errorf("spawn cost = %v cycles, want ≥ 10k (OS threads)", cost)
+		}
+		th.Join(c)
+	})
+	_ = res
+}
+
+func TestSyncVarEmulationExpensive(t *testing.T) {
+	// An emulated full/empty op costs ≥ SyncVarCost cycles — versus ~1 cycle
+	// issue on the MTA. This asymmetry is the paper's fine-grained argument.
+	p := Exemplar(1)
+	res := run(t, p, func(th *machine.Thread) {
+		v := th.NewSyncVar("cell")
+		v.Write(th, 1)
+	})
+	if res.Stats.Cycles < p.SyncVarCost {
+		t.Errorf("sync op = %v cycles, want ≥ %v", res.Stats.Cycles, p.SyncVarCost)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	p := Exemplar(4)
+	var procs []int
+	run(t, p, func(th *machine.Thread) {
+		var ts []*machine.Thread
+		for i := 0; i < 8; i++ {
+			ts = append(ts, th.Go("w", func(c *machine.Thread) {
+				procs = append(procs, c.Proc)
+			}))
+		}
+		th.JoinAll(ts)
+	})
+	want := []int{1, 2, 3, 0, 1, 2, 3, 0} // main thread took proc 0
+	for i := range want {
+		if procs[i] != want[i] {
+			t.Errorf("placement = %v, want %v", procs, want)
+			break
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p := PentiumProSMP(2)
+	res := run(t, p, func(th *machine.Thread) {
+		r := th.Alloc("a", 1<<20)
+		th.Compute(1000)
+		th.Burst(mem.ReadBurst(r, 0, 8, 1000))
+	})
+	if len(res.Stats.ProcUtil) != 2 {
+		t.Errorf("ProcUtil len = %d, want 2", len(res.Stats.ProcUtil))
+	}
+	if res.Stats.CacheMisses == 0 {
+		t.Error("CacheMisses = 0 for streaming burst")
+	}
+	if res.Stats.MemUtil <= 0 {
+		t.Errorf("MemUtil = %v, want > 0", res.Stats.MemUtil)
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for _, p := range []Params{AlphaStation(), PentiumProSMP(4), Exemplar(16)} {
+		if p.ClockHz <= 0 || p.OpsPerCycle <= 0 || p.Procs < 1 {
+			t.Errorf("%s: bad core params %+v", p.Name, p)
+		}
+		if p.DRAMLatency <= 0 || p.BusBytesPerCycle <= 0 {
+			t.Errorf("%s: bad memory params %+v", p.Name, p)
+		}
+		if p.ThreadCreate < 10_000 {
+			t.Errorf("%s: thread create %v too cheap for an OS thread", p.Name, p.ThreadCreate)
+		}
+		if p.SyncVarCost < 100 {
+			t.Errorf("%s: sync emulation %v too cheap", p.Name, p.SyncVarCost)
+		}
+	}
+}
+
+func TestZeroProcsClamped(t *testing.T) {
+	e := New(Params{Name: "x", ClockHz: 1e6, OpsPerCycle: 1, CacheBytes: 8192,
+		LineBytes: 32, GranuleBytes: 1024, DRAMLatency: 10, MLP: 1,
+		BusBytesPerCycle: 1, ThreadCreate: 1, LockCost: 1, SyncVarCost: 1,
+		AtomicCost: 1, BarrierCost: 1})
+	if e.Config().Procs != 1 {
+		t.Errorf("procs = %d, want 1", e.Config().Procs)
+	}
+}

@@ -1,0 +1,145 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mta"
+	"repro/internal/smp"
+	. "repro/internal/trace"
+)
+
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Record(Event{T: 1, Thread: "x", Kind: ThreadStart}) // must not panic
+}
+
+func TestSpansAndStats(t *testing.T) {
+	l := New(1e6)
+	l.Record(Event{T: 0, Thread: "a", Proc: 0, Kind: ThreadStart})
+	l.Record(Event{T: 5, Thread: "b", Proc: 1, Kind: ThreadStart})
+	l.Record(Event{T: 10, Thread: "a", Proc: 0, Kind: ThreadEnd})
+	l.Record(Event{T: 20, Thread: "b", Proc: 1, Kind: ThreadEnd})
+	st := l.Summarize()
+	if st.Threads != 2 {
+		t.Errorf("Threads = %d, want 2", st.Threads)
+	}
+	if st.Makespan != 20 {
+		t.Errorf("Makespan = %v, want 20", st.Makespan)
+	}
+	if st.MeanLife != 12.5 { // (10 + 15) / 2
+		t.Errorf("MeanLife = %v, want 12.5", st.MeanLife)
+	}
+	if st.PeakLive != 2 {
+		t.Errorf("PeakLive = %d, want 2", st.PeakLive)
+	}
+	if st.PerProcPeak[0] != 1 || st.PerProcPeak[1] != 1 {
+		t.Errorf("PerProcPeak = %v", st.PerProcPeak)
+	}
+}
+
+func TestPeakLiveCountsOverlap(t *testing.T) {
+	l := New(1)
+	for i, se := range [][2]float64{{0, 10}, {2, 8}, {4, 6}} {
+		name := string(rune('a' + i))
+		l.Record(Event{T: se[0], Thread: name, Kind: ThreadStart})
+		l.Record(Event{T: se[1], Thread: name, Kind: ThreadEnd})
+	}
+	if st := l.Summarize(); st.PeakLive != 3 {
+		t.Errorf("PeakLive = %d, want 3", st.PeakLive)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	l := New(1)
+	l.Record(Event{T: 0, Thread: "main", Proc: 0, Kind: ThreadStart})
+	l.Record(Event{T: 50, Thread: "main", Proc: 0, Kind: Mark, Label: "phase2"})
+	l.Record(Event{T: 100, Thread: "main", Proc: 0, Kind: ThreadEnd})
+	out := l.Gantt(40, 10)
+	if !strings.Contains(out, "main") || !strings.Contains(out, "█") {
+		t.Errorf("gantt missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "▸") {
+		t.Errorf("gantt missing mark:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles") {
+		t.Errorf("gantt missing axis:\n%s", out)
+	}
+}
+
+func TestGanttRowCap(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 50; i++ {
+		name := strings.Repeat("x", 3) + string(rune('0'+i%10)) + string(rune('a'+i%26))
+		l.Record(Event{T: float64(i), Thread: name, Kind: ThreadStart})
+		l.Record(Event{T: float64(i + 10), Thread: name, Kind: ThreadEnd})
+	}
+	out := l.Gantt(40, 5)
+	if !strings.Contains(out, "more threads") {
+		t.Errorf("row cap footer missing:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines > 10 {
+		t.Errorf("too many lines (%d) for maxRows=5:\n%s", lines, out)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l := New(1)
+	if out := l.Gantt(40, 5); !strings.Contains(out, "no events") {
+		t.Errorf("empty gantt = %q", out)
+	}
+	if st := l.Summarize(); st.Threads != 0 || st.Makespan != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestUnfinishedThreadExtendsToEnd(t *testing.T) {
+	l := New(1)
+	l.Record(Event{T: 0, Thread: "runs-forever", Kind: ThreadStart})
+	l.Record(Event{T: 0, Thread: "quick", Kind: ThreadStart})
+	l.Record(Event{T: 100, Thread: "quick", Kind: ThreadEnd})
+	st := l.Summarize()
+	if st.MeanLife != 100 { // both spans treated as 100
+		t.Errorf("MeanLife = %v, want 100", st.MeanLife)
+	}
+}
+
+// TestMachineIntegration attaches a tracer to real machine runs and checks
+// the expected shape difference: the MTA run has far higher peak thread
+// concurrency than the conventional run.
+func TestMachineIntegration(t *testing.T) {
+	run := func(build func() *machine.Engine, threadsN int) Stats {
+		e := build()
+		l := New(e.Config().ClockHz)
+		e.SetTracer(l)
+		_, err := e.Run("main", func(th *machine.Thread) {
+			th.Mark("spawn-phase")
+			var ts []*machine.Thread
+			for i := 0; i < threadsN; i++ {
+				ts = append(ts, th.Go("w", func(c *machine.Thread) {
+					c.Compute(50_000)
+				}))
+			}
+			th.JoinAll(ts)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.Summarize()
+	}
+	mtaStats := run(func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) }, 64)
+	smpStats := run(func() *machine.Engine { return smp.New(smp.Exemplar(4)) }, 64)
+	if mtaStats.Threads != 65 || smpStats.Threads != 65 {
+		t.Fatalf("threads = %d / %d, want 65", mtaStats.Threads, smpStats.Threads)
+	}
+	if mtaStats.PeakLive < 60 {
+		t.Errorf("MTA peak live = %d, want ≈ 65 (streams all resident)", mtaStats.PeakLive)
+	}
+	// On the SMP the serialized 200k-cycle spawns stagger starts while early
+	// threads already run; concurrency still builds up, but the first
+	// threads' lifetimes dominate the makespan far more than on the MTA.
+	if smpStats.Makespan <= mtaStats.MeanLife {
+		t.Logf("smp makespan %v, mta meanlife %v", smpStats.Makespan, mtaStats.MeanLife)
+	}
+}
