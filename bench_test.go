@@ -20,7 +20,7 @@ import (
 
 // benchCfg keeps benchmark runs quick; shapes are unaffected (times are
 // normalized to the paper's workload size).
-var benchCfg = experiments.Config{ScaleTA: 0.1, ScaleTM: 0.2}
+var benchCfg = experiments.Config{ScaleTA: 0.1, ScaleTM: 0.2, ScaleRO: 0.1}
 
 // lastCell parses the last column of the table's last row as a float metric.
 func lastCell(res *experiments.Result) float64 {
@@ -78,3 +78,6 @@ func BenchmarkAblationNetwork(b *testing.B)             { runExperiment(b, "abla
 func BenchmarkAblationBlocking(b *testing.B)            { runExperiment(b, "ablation-blocking") }
 func BenchmarkAblationFineGrainSMP(b *testing.B)        { runExperiment(b, "ablation-finegrain-smp") }
 func BenchmarkProjectionScaling(b *testing.B)           { runExperiment(b, "projection-scaling") }
+func BenchmarkRouteSequential(b *testing.B)             { runExperiment(b, "ro-sequential") }
+func BenchmarkRouteStreams(b *testing.B)                { runExperiment(b, "ro-streams") }
+func BenchmarkRouteVariants(b *testing.B)               { runExperiment(b, "ro-variants") }

@@ -1,5 +1,6 @@
 // Command c3ibench regenerates the paper's tables and figures (and the
-// reproduction's ablations) from the machine models and benchmark programs.
+// reproduction's ablations and suite extensions) from the machine models and
+// benchmark programs.
 //
 // Usage:
 //
@@ -9,6 +10,11 @@
 //	c3ibench -all                  # everything, in paper order
 //	c3ibench -all -md              # markdown output (for EXPERIMENTS.md)
 //	c3ibench -scale-ta 0.5 ...     # bigger Threat Analysis workload
+//	c3ibench -scale-ro 1 ...       # full Route Optimization workload
+//
+// The exit status is non-zero if any requested experiment ID is unknown or
+// any experiment fails; the remaining experiments still run, so one broken
+// table does not hide the rest of an -all sweep.
 package main
 
 import (
@@ -32,6 +38,8 @@ func main() {
 			"Threat Analysis workload scale (1 = the paper's 1000 threats/scenario)")
 		scaleTM = flag.Float64("scale-tm", experiments.DefaultConfig().ScaleTM,
 			"Terrain Masking workload scale (1 = the paper's 60 threats/scenario)")
+		scaleRO = flag.Float64("scale-ro", experiments.DefaultConfig().ScaleRO,
+			"Route Optimization workload scale (1 = the suite's 12 route requests/scenario)")
 	)
 	flag.Parse()
 
@@ -53,18 +61,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{ScaleTA: *scaleTA, ScaleTM: *scaleTM}
+	cfg := experiments.Config{ScaleTA: *scaleTA, ScaleTM: *scaleTM, ScaleRO: *scaleRO}
+	failures := 0
 	for _, id := range ids {
 		e, err := experiments.Get(strings.TrimSpace(id))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(os.Stderr, "c3ibench:", err)
+			failures++
+			continue
 		}
 		start := time.Now()
 		res, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "c3ibench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			failures++
+			continue
 		}
 		for _, tb := range res.Tables {
 			if *md {
@@ -80,5 +91,9 @@ func main() {
 			fmt.Println(res.Text)
 		}
 		fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "c3ibench: %d of %d requested experiments failed\n", failures, len(ids))
+		os.Exit(1)
 	}
 }

@@ -1,10 +1,12 @@
 // Command c3idata manages C3IPBS benchmark data: it generates the five-input
 // scenario files for each problem (with golden output checksums — the
 // suite's "correctness test for the benchmark output data") and re-validates
-// solver outputs against them.
+// solver outputs against them. For Route Optimization, -check runs all three
+// program variants and verifies each against the golden checksum, since they
+// must converge to identical path costs.
 //
-//	c3idata -gen -dir ./data -scale-ta 0.1 -scale-tm 0.1   # write scenarios + goldens
-//	c3idata -check -dir ./data                             # solve and verify
+//	c3idata -gen -dir ./data -scale-ta 0.1 -scale-tm 0.1 -scale-ro 0.25
+//	c3idata -check -dir ./data
 package main
 
 import (
@@ -15,9 +17,11 @@ import (
 	"path/filepath"
 
 	"repro/internal/c3i/data"
+	"repro/internal/c3i/route"
 	"repro/internal/c3i/terrain"
 	"repro/internal/c3i/threat"
 	"repro/internal/machine"
+	"repro/internal/mta"
 	"repro/internal/smp"
 )
 
@@ -28,11 +32,12 @@ func main() {
 		dir     = flag.String("dir", "c3ipbs-data", "data directory")
 		scaleTA = flag.Float64("scale-ta", 0.1, "Threat Analysis scale (1 = paper size)")
 		scaleTM = flag.Float64("scale-tm", 0.1, "Terrain Masking scale (1 = paper size)")
+		scaleRO = flag.Float64("scale-ro", 0.25, "Route Optimization scale (1 = full suite size)")
 	)
 	flag.Parse()
 	switch {
 	case *gen:
-		if err := generate(*dir, *scaleTA, *scaleTM); err != nil {
+		if err := generate(*dir, *scaleTA, *scaleTM, *scaleRO); err != nil {
 			log.Fatal(err)
 		}
 	case *check:
@@ -67,7 +72,31 @@ func solveTerrain(s *terrain.Scenario) (*terrain.Masking, error) {
 	return out.Masking, nil
 }
 
-func generate(dir string, scaleTA, scaleTM float64) error {
+// solveRoute runs one Route Optimization variant and returns the path costs.
+func solveRoute(s *route.Scenario, variant string) ([]int64, error) {
+	var out *route.Output
+	var e *machine.Engine
+	var run func(th *machine.Thread)
+	switch variant {
+	case "sequential":
+		e = smp.New(smp.AlphaStation())
+		run = func(th *machine.Thread) { out = route.Sequential(th, s) }
+	case "coarse":
+		e = smp.New(smp.PentiumProSMP(4))
+		run = func(th *machine.Thread) { out = route.Coarse(th, s, 4, 4) }
+	case "fine":
+		e = mta.New(mta.Params{Procs: 1})
+		run = func(th *machine.Thread) { out = route.Fine(th, s, 64) }
+	default:
+		return nil, fmt.Errorf("c3idata: unknown route variant %q", variant)
+	}
+	if _, err := e.Run("ref", run); err != nil {
+		return nil, err
+	}
+	return out.PathCost, nil
+}
+
+func generate(dir string, scaleTA, scaleTM, scaleRO float64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -100,6 +129,20 @@ func generate(dir string, scaleTA, scaleTM float64) error {
 		goldens = append(goldens, data.Golden{Scenario: s.Name, Kind: "terrain-masking", Checksum: sum})
 		fmt.Printf("wrote %-22s %5d sites   %6d masked   checksum %016x\n",
 			path, len(s.Threats), m.FiniteCells(), sum)
+	}
+	for i, s := range route.Suite(scaleRO) {
+		path := filepath.Join(dir, fmt.Sprintf("route-%d.c3i", i+1))
+		if err := data.SaveRouteScenario(path, s); err != nil {
+			return err
+		}
+		costs, err := solveRoute(s, "sequential")
+		if err != nil {
+			return err
+		}
+		sum := data.PathCostChecksum(costs)
+		goldens = append(goldens, data.Golden{Scenario: s.Name, Kind: "route-optimization", Checksum: sum})
+		fmt.Printf("wrote %-22s %5d cells   %6d routes   checksum %016x\n",
+			path, s.Cells(), len(s.Queries), sum)
 	}
 	gpath := filepath.Join(dir, "golden.c3i")
 	if err := data.SaveGolden(gpath, goldens); err != nil {
@@ -153,6 +196,29 @@ func validate(dir string) error {
 			failures++
 		} else {
 			fmt.Printf("ok   %s\n", path)
+		}
+	}
+	for i := 1; ; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("route-%d.c3i", i))
+		if _, err := os.Stat(path); err != nil {
+			break
+		}
+		s, err := data.LoadRouteScenario(path)
+		if err != nil {
+			return err
+		}
+		// All three variants must reproduce the golden path costs.
+		for _, variant := range []string{"sequential", "coarse", "fine"} {
+			costs, err := solveRoute(s, variant)
+			if err != nil {
+				return err
+			}
+			if err := data.CheckGolden(goldens, s.Name, "route-optimization", data.PathCostChecksum(costs)); err != nil {
+				fmt.Printf("FAIL %s (%s): %v\n", path, variant, err)
+				failures++
+			} else {
+				fmt.Printf("ok   %s (%s)\n", path, variant)
+			}
 		}
 	}
 	if failures > 0 {

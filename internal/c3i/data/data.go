@@ -20,17 +20,20 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/c3i/route"
 	"repro/internal/c3i/terrain"
 	"repro/internal/c3i/threat"
 )
 
 // magic identifies scenario files; the byte after it is a format version.
+// Version 2 added the Route Optimization scenario kind.
 const (
 	magic   = "C3IPBS\x00"
-	version = 1
+	version = 2
 
 	kindThreat  = "threat-analysis"
 	kindTerrain = "terrain-masking"
+	kindRoute   = "route-optimization"
 )
 
 // header is the self-describing prefix of every scenario file.
@@ -143,6 +146,61 @@ func LoadTerrainScenario(path string) (*terrain.Scenario, error) {
 		Grid:    &terrain.Grid{W: tf.W, H: tf.H, Elev: tf.Elev},
 		Threats: tf.Threats,
 	}, nil
+}
+
+// routeFile is the serialized form of a Route Optimization scenario.
+type routeFile struct {
+	Name    string
+	W, H    int
+	Risk    []int32
+	Queries []route.Query
+}
+
+// SaveRouteScenario writes a Route Optimization scenario to path.
+func SaveRouteScenario(path string, s *route.Scenario) error {
+	return writeFile(path, kindRoute, routeFile{
+		Name: s.Name, W: s.W, H: s.H, Risk: s.Risk, Queries: s.Queries,
+	})
+}
+
+// LoadRouteScenario reads a Route Optimization scenario from path.
+func LoadRouteScenario(path string) (*route.Scenario, error) {
+	var rf routeFile
+	if err := readFile(path, kindRoute, &rf); err != nil {
+		return nil, err
+	}
+	if len(rf.Risk) != rf.W*rf.H {
+		return nil, fmt.Errorf("data: %s: risk length %d != %d×%d", path, len(rf.Risk), rf.W, rf.H)
+	}
+	for i, r := range rf.Risk {
+		if r < 0 {
+			return nil, fmt.Errorf("data: %s: negative risk %d at cell %d", path, r, i)
+		}
+	}
+	for _, q := range rf.Queries {
+		if q.SX < 0 || q.SX >= rf.W || q.SY < 0 || q.SY >= rf.H ||
+			q.GX < 0 || q.GX >= rf.W || q.GY < 0 || q.GY >= rf.H {
+			return nil, fmt.Errorf("data: %s: query %d endpoints (%d,%d)→(%d,%d) outside %d×%d grid",
+				path, q.ID, q.SX, q.SY, q.GX, q.GY, rf.W, rf.H)
+		}
+	}
+	return &route.Scenario{Name: rf.Name, W: rf.W, H: rf.H, Risk: rf.Risk, Queries: rf.Queries}, nil
+}
+
+// PathCostChecksum reduces a Route Optimization result to a stable checksum
+// over the per-request path costs in query order. Every solver variant
+// converges to the same shortest distances, so all three produce the same
+// value regardless of their internal work order.
+func PathCostChecksum(costs []int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(costs)))
+	h.Write(buf[:])
+	for _, c := range costs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(c))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // IntervalsChecksum reduces a Threat Analysis result to a stable checksum:

@@ -1,14 +1,19 @@
 package data
 
 import (
+	"bufio"
+	"encoding/gob"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/c3i/route"
 	"repro/internal/c3i/terrain"
 	"repro/internal/c3i/threat"
 	"repro/internal/machine"
+	"repro/internal/mta"
 	"repro/internal/smp"
 )
 
@@ -94,6 +99,65 @@ func TestLoadedScenarioSolvesIdentically(t *testing.T) {
 	}
 }
 
+func TestRouteScenarioRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r1.c3i")
+	s := route.GenScenario("rt", route.GenParams{Side: 48, NumThreats: 4, Radius: 8, NumQueries: 3, Seed: 3})
+	if err := SaveRouteScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRouteScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.W != s.W || got.H != s.H {
+		t.Fatalf("metadata mismatch: %q %dx%d", got.Name, got.W, got.H)
+	}
+	for i := range s.Risk {
+		if got.Risk[i] != s.Risk[i] {
+			t.Fatalf("risk %d differs after round trip", i)
+		}
+	}
+	for i := range s.Queries {
+		if got.Queries[i] != s.Queries[i] {
+			t.Fatalf("query %d differs after round trip", i)
+		}
+	}
+}
+
+// TestRouteVariantsMatchGoldenChecksum is the suite's correctness test for
+// the Route Optimization problem: all three solver variants must reproduce
+// the golden path-cost checksum recorded from the sequential reference.
+func TestRouteVariantsMatchGoldenChecksum(t *testing.T) {
+	s := route.GenScenario("golden", route.GenParams{Side: 48, NumThreats: 4, Radius: 8, NumQueries: 3, Seed: 3})
+	solve := func(e *machine.Engine, f func(*machine.Thread) *route.Output) *route.Output {
+		var out *route.Output
+		if _, err := e.Run("solve", func(th *machine.Thread) { out = f(th) }); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	ref := solve(smp.New(smp.AlphaStation()), func(th *machine.Thread) *route.Output {
+		return route.Sequential(th, s)
+	})
+	goldens := []Golden{{Scenario: s.Name, Kind: "route-optimization", Checksum: PathCostChecksum(ref.PathCost)}}
+
+	coarse := solve(smp.New(smp.PentiumProSMP(4)), func(th *machine.Thread) *route.Output {
+		return route.Coarse(th, s, 4, 4)
+	})
+	fine := solve(mta.New(mta.Params{Procs: 1}), func(th *machine.Thread) *route.Output {
+		return route.Fine(th, s, 32)
+	})
+	for name, out := range map[string]*route.Output{"coarse": coarse, "fine": fine} {
+		if err := CheckGolden(goldens, s.Name, "route-optimization", PathCostChecksum(out.PathCost)); err != nil {
+			t.Errorf("%s variant does not match golden: %v", name, err)
+		}
+	}
+	if err := CheckGolden(goldens, s.Name, "route-optimization", PathCostChecksum(ref.PathCost[:1])); err == nil {
+		t.Error("truncated path costs matched the golden checksum")
+	}
+}
+
 func TestKindMismatchRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "x.c3i")
@@ -117,6 +181,91 @@ func TestGarbageRejected(t *testing.T) {
 	}
 	if _, err := LoadThreatScenario(filepath.Join(dir, "missing")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "badmagic")
+	// Right length, wrong bytes — and long enough to hold a plausible body.
+	if err := os.WriteFile(path, []byte("C3IPBX\x00 followed by junk payload bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadThreatScenario(path); err == nil {
+		t.Error("bad magic accepted")
+	} else if !strings.Contains(err.Error(), "not a C3IPBS scenario file") {
+		t.Errorf("bad magic error %q does not name the format", err)
+	}
+	if _, err := LoadGolden(path); err == nil {
+		t.Error("bad magic accepted for golden file")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mystery.c3i")
+	if err := writeFile(path, "plot-track-assignment", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for name, load := range map[string]func(string) error{
+		"threat":  func(p string) error { _, err := LoadThreatScenario(p); return err },
+		"terrain": func(p string) error { _, err := LoadTerrainScenario(p); return err },
+		"route":   func(p string) error { _, err := LoadRouteScenario(p); return err },
+	} {
+		if err := load(path); err == nil {
+			t.Errorf("%s loader accepted a plot-track-assignment file", name)
+		} else if !strings.Contains(err.Error(), "plot-track-assignment") {
+			t.Errorf("%s loader error %q does not name the found kind", name, err)
+		}
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "future.c3i")
+	// Hand-assemble a file with a future format version but valid payload.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(magic); err != nil {
+		t.Fatal(err)
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Kind: kindThreat, Version: version + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(threatFile{Name: "v", DT: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadThreatScenario(path); err == nil {
+		t.Error("future format version accepted")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch error %q does not mention the version", err)
+	}
+}
+
+func TestPathCostChecksum(t *testing.T) {
+	a := []int64{10, 20, 30}
+	b := []int64{10, 20, 30}
+	if PathCostChecksum(a) != PathCostChecksum(b) {
+		t.Error("identical cost lists differ")
+	}
+	if PathCostChecksum(a) == PathCostChecksum([]int64{10, 30, 20}) {
+		t.Error("checksum ignores query order (it must not: costs are per query)")
+	}
+	if PathCostChecksum(a) == PathCostChecksum(a[:2]) {
+		t.Error("checksum missed a dropped cost")
+	}
+	if PathCostChecksum(nil) == PathCostChecksum([]int64{0}) {
+		t.Error("empty vs single-zero collide")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/c3i/route"
 	"repro/internal/c3i/terrain"
 	"repro/internal/c3i/threat"
 	"repro/internal/machine"
@@ -25,12 +26,13 @@ import (
 type Config struct {
 	ScaleTA float64 // fraction of the paper's 1000 threats/scenario
 	ScaleTM float64 // fraction of the paper's 60 threats/scenario
+	ScaleRO float64 // fraction of the route suite's 12 requests/scenario
 }
 
 // DefaultConfig balances fidelity (enough threats for the paper's
 // load-balancing granularity effects) against wall-clock time.
 func DefaultConfig() Config {
-	return Config{ScaleTA: 0.25, ScaleTM: 0.5}
+	return Config{ScaleTA: 0.25, ScaleTM: 0.5, ScaleRO: 0.25}
 }
 
 // Result is an experiment's rendered output.
@@ -69,6 +71,9 @@ func All() []Experiment {
 		{"ablation-blocking", "Terrain Masking lock-blocking factor on the Exemplar", runAblationBlocking},
 		{"ablation-finegrain-smp", "Fine-grained styles on conventional SMP vs the MTA", runAblationFineGrainSMP},
 		{"projection-scaling", "Projected MTA scaling to many processors (the paper's future work)", runProjectionScaling},
+		{"ro-sequential", "Sequential Route Optimization without parallelization (suite extension)", runRouteSeq},
+		{"ro-streams", "Route Optimization scaling with threads: MTA vs cached SMPs (+ figure)", runRouteStreams},
+		{"ro-variants", "Route Optimization parallelization styles across platforms", runRouteVariants},
 	}
 }
 
@@ -97,6 +102,7 @@ var (
 	cacheMu  sync.Mutex
 	taSuites = map[float64][]*threat.Scenario{}
 	tmSuites = map[float64][]*terrain.Scenario{}
+	roSuites = map[float64][]*route.Scenario{}
 	runCache = map[string]machine.Result{}
 )
 
@@ -137,6 +143,23 @@ func tmNorm(suite []*terrain.Scenario) float64 {
 	return 60 / float64(len(suite[0].Threats))
 }
 
+// roSuite returns the (memoized) Route Optimization suite at a scale.
+func roSuite(scale float64) []*route.Scenario {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if s, ok := roSuites[scale]; ok {
+		return s
+	}
+	s := route.Suite(scale)
+	roSuites[scale] = s
+	return s
+}
+
+// roNorm converts measured suite seconds to full-suite-scale seconds.
+func roNorm(suite []*route.Scenario) float64 {
+	return float64(route.DefaultQueries) / float64(len(suite[0].Queries))
+}
+
 // runOnce executes run on a fresh engine built by newEngine and memoizes the
 // result under key (experiments share cells, e.g. the summary tables).
 func runOnce(key string, newEngine func() *machine.Engine, run func(t *machine.Thread)) (machine.Result, error) {
@@ -164,6 +187,7 @@ func ResetCaches() {
 	defer cacheMu.Unlock()
 	taSuites = map[float64][]*threat.Scenario{}
 	tmSuites = map[float64][]*terrain.Scenario{}
+	roSuites = map[float64][]*route.Scenario{}
 	runCache = map[string]machine.Result{}
 }
 

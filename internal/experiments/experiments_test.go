@@ -10,7 +10,7 @@ import (
 // programs through machine models), so they are the repository's
 // end-to-end checks.
 
-var testCfg = Config{ScaleTA: 0.1, ScaleTM: 0.1}
+var testCfg = Config{ScaleTA: 0.1, ScaleTM: 0.1, ScaleRO: 0.05}
 
 func TestSequentialTAOrdering(t *testing.T) {
 	// Paper Table 2: Alpha < Exemplar < Pentium Pro ≪ Tera.
@@ -342,6 +342,92 @@ func TestFineGrainedStylePracticalOnlyOnMTA(t *testing.T) {
 		t.Fatal(err)
 	}
 	fine, err := tmFine(testCfg, "exemplar", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine < coarse*1.5 {
+		t.Errorf("fine (%.1f) vs coarse (%.1f) on Exemplar: want ≥ 1.5x worse", fine, coarse)
+	}
+}
+
+func TestRouteSequentialOrdering(t *testing.T) {
+	// The suite's irregular workload: dependent scattered loads are nearly
+	// free under a cache that holds the distance array and expose the full
+	// memory latency on the cache-less MTA, so the sequential gap is at
+	// least as dramatic as Threat Analysis's.
+	alpha, err := roSeq(testCfg, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tera, err := roSeq(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tera / alpha; r < 10 || r > 40 {
+		t.Errorf("tera/alpha = %.1f, want 10-40 (pointer-chasing exposes full latency)", r)
+	}
+}
+
+func TestRouteMTAScalesWhileSMPsSaturate(t *testing.T) {
+	// The acceptance shape for the third workload: the MTA's fine-grained
+	// variant keeps scaling with streams, while the cached SMPs saturate at
+	// their processor counts and memory systems, then degrade.
+	fine1, _, err := roFine(testCfg, "tera", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine128, _, err := roFine(testCfg, "tera", 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtaSpeedup := fine1 / fine128
+	if mtaSpeedup < 8 {
+		t.Errorf("MTA fine-grained speedup at 128 threads = %.1f, want ≥ 8", mtaSpeedup)
+	}
+
+	ex1, _, err := roCoarse(testCfg, "exemplar", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex16, _, err := roCoarse(testCfg, "exemplar", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex128, _, err := roCoarse(testCfg, "exemplar", 16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex16 >= ex1 {
+		t.Errorf("Exemplar coarse did not speed up at all: %.1f s at 16 workers vs %.1f s at 1", ex16, ex1)
+	}
+	if s := ex1 / ex16; s >= mtaSpeedup {
+		t.Errorf("Exemplar speedup %.1f not below MTA's %.1f — the SMP should saturate first", s, mtaSpeedup)
+	}
+	if ex128 < ex16 {
+		t.Errorf("Exemplar kept scaling past saturation: %.1f s at 128 workers vs %.1f s at 16", ex128, ex16)
+	}
+
+	pp1, _, err := roCoarse(testCfg, "ppro", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp4, _, err := roCoarse(testCfg, "ppro", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pp1 / pp4; s < 1.3 || s > 4.2 {
+		t.Errorf("PPro 4-worker speedup = %.1f, want modest (bus-bound)", s)
+	}
+}
+
+func TestRouteFineGrainedImpracticalOnSMP(t *testing.T) {
+	// The Tera style (a crowd of threads per wavefront, per-word sync) must
+	// be far worse than the coarse crew on a conventional SMP.
+	coarse, _, err := roCoarse(testCfg, "exemplar", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, _, err := roFine(testCfg, "exemplar", 16, roFineCompare)
 	if err != nil {
 		t.Fatal(err)
 	}
