@@ -1,26 +1,40 @@
-// Package repro's top-level benchmarks regenerate every table and figure of
-// the paper's evaluation, one benchmark per experiment:
+// Package repro's top-level benchmarks enumerate the experiment and workload
+// registries, one sub-benchmark per entry:
 //
 //	go test -bench=. -benchmem
 //
-// Each iteration rebuilds the experiment from scratch (caches reset), so the
-// reported time is the full cost of reproducing that table with the machine
-// models. The custom metric "key-model-s" is the experiment's headline model
-// value in normalized simulated seconds (e.g. the Tera row of a sequential
-// table, or the maximum-processor-count row of a speedup table), so shape
-// regressions show up in benchmark output directly.
+// BenchmarkExperiments regenerates every table and figure of the paper's
+// evaluation; each iteration rebuilds the experiment from scratch (caches
+// reset), so the reported time is the full cost of reproducing that table
+// with the machine models. The custom metric "key-model-s" is the
+// experiment's headline model value in normalized simulated seconds (e.g.
+// the Tera row of a sequential table, or the maximum-processor-count row of
+// a speedup table), so shape regressions show up in benchmark output
+// directly. BenchmarkWorkloadVariants times each registered workload variant
+// over its suite on the AlphaStation model — new workloads get benchmarked
+// by registering, with no edits here.
 package repro
 
 import (
 	"strconv"
 	"testing"
 
+	"repro/internal/c3i/suite"
 	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/platforms"
 )
 
 // benchCfg keeps benchmark runs quick; shapes are unaffected (times are
 // normalized to the paper's workload size).
-var benchCfg = experiments.Config{ScaleTA: 0.1, ScaleTM: 0.2, ScaleRO: 0.1}
+var benchCfg = experiments.Config{Scales: map[string]float64{
+	experiments.TA: 0.1,
+	experiments.TM: 0.2,
+	experiments.RO: 0.1,
+}}
+
+// benchVariantScale sizes the per-variant workload benchmarks.
+const benchVariantScale = 0.05
 
 // lastCell parses the last column of the table's last row as a float metric.
 func lastCell(res *experiments.Result) float64 {
@@ -40,44 +54,67 @@ func lastCell(res *experiments.Result) float64 {
 	return 0
 }
 
-// runExperiment is the shared benchmark body.
-func runExperiment(b *testing.B, id string) {
-	b.Helper()
-	e, err := experiments.Get(id)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < b.N; i++ {
-		experiments.ResetCaches()
-		res, err := e.Run(benchCfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			b.ReportMetric(lastCell(res), "key-model-s")
-		}
+// BenchmarkExperiments regenerates each registered experiment from scratch.
+func BenchmarkExperiments(b *testing.B) {
+	for _, e := range experiments.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.ResetCaches()
+				res, err := e.Run(benchCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(lastCell(res), "key-model-s")
+				}
+			}
+		})
 	}
 }
 
-func BenchmarkTable1_Platforms(b *testing.B)            { runExperiment(b, "table1") }
-func BenchmarkTable2_SequentialTA(b *testing.B)         { runExperiment(b, "table2") }
-func BenchmarkTable3_Figure1_TAPentiumPro(b *testing.B) { runExperiment(b, "table3") }
-func BenchmarkTable4_Figure2_TAExemplar(b *testing.B)   { runExperiment(b, "table4") }
-func BenchmarkTable5_TATera(b *testing.B)               { runExperiment(b, "table5") }
-func BenchmarkTable6_TAChunkSweep(b *testing.B)         { runExperiment(b, "table6") }
-func BenchmarkTable7_TASummary(b *testing.B)            { runExperiment(b, "table7") }
-func BenchmarkTable8_SequentialTM(b *testing.B)         { runExperiment(b, "table8") }
-func BenchmarkTable9_Figure3_TMPentiumPro(b *testing.B) { runExperiment(b, "table9") }
-func BenchmarkTable10_Figure4_TMExemplar(b *testing.B)  { runExperiment(b, "table10") }
-func BenchmarkTable11_TMTera(b *testing.B)              { runExperiment(b, "table11") }
-func BenchmarkTable12_TMSummary(b *testing.B)           { runExperiment(b, "table12") }
-func BenchmarkAutopar(b *testing.B)                     { runExperiment(b, "autopar") }
-func BenchmarkAblationStreams(b *testing.B)             { runExperiment(b, "ablation-streams") }
-func BenchmarkAblationLatency(b *testing.B)             { runExperiment(b, "ablation-latency") }
-func BenchmarkAblationNetwork(b *testing.B)             { runExperiment(b, "ablation-network") }
-func BenchmarkAblationBlocking(b *testing.B)            { runExperiment(b, "ablation-blocking") }
-func BenchmarkAblationFineGrainSMP(b *testing.B)        { runExperiment(b, "ablation-finegrain-smp") }
-func BenchmarkProjectionScaling(b *testing.B)           { runExperiment(b, "projection-scaling") }
-func BenchmarkRouteSequential(b *testing.B)             { runExperiment(b, "ro-sequential") }
-func BenchmarkRouteStreams(b *testing.B)                { runExperiment(b, "ro-streams") }
-func BenchmarkRouteVariants(b *testing.B)               { runExperiment(b, "ro-variants") }
+// BenchmarkWorkloadVariants runs every registered workload variant (default
+// params) over its scenario suite on the AlphaStation model. The metric
+// "model-s" is the run's simulated seconds normalized to paper scale.
+func BenchmarkWorkloadVariants(b *testing.B) {
+	for _, w := range suite.All() {
+		// Generation and warming live inside the per-workload group, so
+		// -bench filters skip the setup of unselected workloads.
+		b.Run(w.Key, func(b *testing.B) {
+			scs := w.Generate(benchVariantScale)
+			for _, sc := range scs {
+				sc.Warm()
+			}
+			norm := w.Norm(scs)
+			for _, v := range w.Variants {
+				b.Run(v.Name, func(b *testing.B) {
+					var modelSec float64
+					for i := 0; i < b.N; i++ {
+						spec, err := benchAlpha()
+						if err != nil {
+							b.Fatal(err)
+						}
+						res, err := spec.Run(w.Key+"/"+v.Name, func(t *machine.Thread) {
+							for _, sc := range scs {
+								v.Exec(t, sc, nil)
+							}
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						modelSec = res.Seconds * norm
+					}
+					b.ReportMetric(modelSec, "model-s")
+				})
+			}
+		})
+	}
+}
+
+// benchAlpha builds a fresh AlphaStation engine.
+func benchAlpha() (*machine.Engine, error) {
+	spec, err := platforms.Get("alpha")
+	if err != nil {
+		return nil, err
+	}
+	return spec.New(1), nil
+}

@@ -1,20 +1,24 @@
 // Command c3ibench regenerates the paper's tables and figures (and the
 // reproduction's ablations and suite extensions) from the machine models and
-// benchmark programs.
+// benchmark programs. Workloads, their variants and their scale flags come
+// from the internal/c3i/suite registry, so a newly registered workload shows
+// up here with no command changes.
 //
 // Usage:
 //
-//	c3ibench -list                 # list experiment IDs
+//	c3ibench -list                 # registered workloads, variants, experiment IDs
 //	c3ibench -run table5           # one experiment
 //	c3ibench -run table5,table6    # several
 //	c3ibench -all                  # everything, in paper order
+//	c3ibench -all -jobs 4          # same results, computed by 4 parallel workers
 //	c3ibench -all -md              # markdown output (for EXPERIMENTS.md)
 //	c3ibench -scale-ta 0.5 ...     # bigger Threat Analysis workload
 //	c3ibench -scale-ro 1 ...       # full Route Optimization workload
 //
-// The exit status is non-zero if any requested experiment ID is unknown or
-// any experiment fails; the remaining experiments still run, so one broken
-// table does not hide the rest of an -all sweep.
+// Results always print in the requested order, whatever -jobs is. The exit
+// status is non-zero if any requested experiment ID is unknown or any
+// experiment fails; the remaining experiments still run, so one broken table
+// does not hide the rest of an -all sweep.
 package main
 
 import (
@@ -22,31 +26,30 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
+	"repro/internal/c3i/suite"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		run     = flag.String("run", "", "comma-separated experiment IDs to run")
-		all     = flag.Bool("all", false, "run every experiment in paper order")
-		md      = flag.Bool("md", false, "emit Markdown instead of ASCII tables")
-		text    = flag.Bool("text", true, "include free-text output (compiler feedback)")
-		scaleTA = flag.Float64("scale-ta", experiments.DefaultConfig().ScaleTA,
-			"Threat Analysis workload scale (1 = the paper's 1000 threats/scenario)")
-		scaleTM = flag.Float64("scale-tm", experiments.DefaultConfig().ScaleTM,
-			"Terrain Masking workload scale (1 = the paper's 60 threats/scenario)")
-		scaleRO = flag.Float64("scale-ro", experiments.DefaultConfig().ScaleRO,
-			"Route Optimization workload scale (1 = the suite's 12 route requests/scenario)")
+		list = flag.Bool("list", false, "list registered workloads, variants and experiment IDs, then exit")
+		run  = flag.String("run", "", "comma-separated experiment IDs to run")
+		all  = flag.Bool("all", false, "run every experiment in paper order")
+		jobs = flag.Int("jobs", 1, "number of parallel experiment workers (results still print in order)")
+		md   = flag.Bool("md", false, "emit Markdown instead of ASCII tables")
+		text = flag.Bool("text", true, "include free-text output (compiler feedback)")
 	)
+	// One scale flag per registered workload: -scale-ta, -scale-tm, ...
+	scales := map[string]*float64{}
+	for _, w := range suite.All() {
+		scales[w.Name] = flag.Float64("scale-"+w.Key, w.DefaultScale,
+			fmt.Sprintf("%s workload scale (1 = the paper-scale %d %s)", w.Title, w.PaperUnits, w.UnitName))
+	}
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
-			fmt.Printf("%-24s %s\n", e.ID, e.Title)
-		}
+		printList()
 		return
 	}
 
@@ -61,39 +64,60 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{ScaleTA: *scaleTA, ScaleTM: *scaleTM, ScaleRO: *scaleRO}
+	cfg := experiments.Config{Scales: map[string]float64{}}
+	for name, s := range scales {
+		cfg.Scales[name] = *s
+	}
+
+	// Outcomes stream in request order as they (and their predecessors)
+	// finish, so serial runs report incrementally and -jobs runs print
+	// identically.
 	failures := 0
-	for _, id := range ids {
-		e, err := experiments.Get(strings.TrimSpace(id))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "c3ibench:", err)
+	experiments.RunEach(ids, cfg, *jobs, func(oc experiments.Outcome) {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "c3ibench: %s: %v\n", oc.Experiment.ID, oc.Err)
 			failures++
-			continue
+			return
 		}
-		start := time.Now()
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "c3ibench: %s: %v\n", e.ID, err)
-			failures++
-			continue
-		}
-		for _, tb := range res.Tables {
+		for _, tb := range oc.Result.Tables {
 			if *md {
 				fmt.Println(tb.Markdown())
 			} else {
 				fmt.Println(tb.Render())
 			}
 		}
-		for _, fig := range res.Figures {
+		for _, fig := range oc.Result.Figures {
 			fmt.Println(fig.Render(56, 16))
 		}
-		if *text && res.Text != "" {
-			fmt.Println(res.Text)
+		if *text && oc.Result.Text != "" {
+			fmt.Println(oc.Result.Text)
 		}
-		fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", e.ID, time.Since(start).Seconds())
-	}
+		fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", oc.Experiment.ID, oc.Elapsed.Seconds())
+	})
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "c3ibench: %d of %d requested experiments failed\n", failures, len(ids))
 		os.Exit(1)
+	}
+}
+
+// printList renders the full registered surface: every workload with its
+// variants and tunable parameters, then every experiment ID in paper order.
+func printList() {
+	fmt.Println("Registered workloads (internal/c3i/suite):")
+	for _, w := range suite.All() {
+		fmt.Printf("  %-20s -scale-%-3s %s (1 = %d %s; default %g)\n",
+			w.Name, w.Key, w.Title, w.PaperUnits, w.UnitName, w.DefaultScale)
+		for _, v := range w.Variants {
+			params := "no params"
+			if len(v.Defaults) > 0 {
+				params = "defaults " + v.Defaults.String()
+			}
+			fmt.Printf("    %-12s style=%-10s %s\n", v.Name, v.Style, params)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Experiments (paper order):")
+	for _, e := range experiments.All() {
+		fmt.Printf("  %-24s %s\n", e.ID, e.Title)
 	}
 }

@@ -1,9 +1,14 @@
 // Command c3idata manages C3IPBS benchmark data: it generates the five-input
-// scenario files for each problem (with golden output checksums — the
-// suite's "correctness test for the benchmark output data") and re-validates
-// solver outputs against them. For Route Optimization, -check runs all three
-// program variants and verifies each against the golden checksum, since they
-// must converge to identical path costs.
+// scenario files for each registered workload (with golden output checksums
+// — the suite's "correctness test for the benchmark output data") and
+// re-validates solver outputs against them. Workloads, scale flags, file
+// names, reference solvers and the set of variants re-checked at -check all
+// come from the internal/c3i/suite registry, so a newly registered workload
+// joins the data tools by adding one serialization codec to internal/c3i/data.
+//
+// Route Optimization registers all three program variants for -check, since
+// they must converge to identical path costs; the other workloads re-check
+// their sequential reference.
 //
 //	c3idata -gen -dir ./data -scale-ta 0.1 -scale-tm 0.1 -scale-ro 0.25
 //	c3idata -check -dir ./data
@@ -17,27 +22,26 @@ import (
 	"path/filepath"
 
 	"repro/internal/c3i/data"
-	"repro/internal/c3i/route"
-	"repro/internal/c3i/terrain"
-	"repro/internal/c3i/threat"
+	"repro/internal/c3i/suite"
 	"repro/internal/machine"
-	"repro/internal/mta"
-	"repro/internal/smp"
+	"repro/internal/platforms"
 )
 
 func main() {
 	var (
-		gen     = flag.Bool("gen", false, "generate scenario files and golden checksums")
-		check   = flag.Bool("check", false, "solve stored scenarios and verify against goldens")
-		dir     = flag.String("dir", "c3ipbs-data", "data directory")
-		scaleTA = flag.Float64("scale-ta", 0.1, "Threat Analysis scale (1 = paper size)")
-		scaleTM = flag.Float64("scale-tm", 0.1, "Terrain Masking scale (1 = paper size)")
-		scaleRO = flag.Float64("scale-ro", 0.25, "Route Optimization scale (1 = full suite size)")
+		gen   = flag.Bool("gen", false, "generate scenario files and golden checksums")
+		check = flag.Bool("check", false, "solve stored scenarios and verify against goldens")
+		dir   = flag.String("dir", "c3ipbs-data", "data directory")
 	)
+	scales := map[string]*float64{}
+	for _, w := range suite.All() {
+		scales[w.Name] = flag.Float64("scale-"+w.Key, w.DataScale,
+			fmt.Sprintf("%s scale (1 = %d %s)", w.Title, w.PaperUnits, w.UnitName))
+	}
 	flag.Parse()
 	switch {
 	case *gen:
-		if err := generate(*dir, *scaleTA, *scaleTM, *scaleRO); err != nil {
+		if err := generate(*dir, scales); err != nil {
 			log.Fatal(err)
 		}
 	case *check:
@@ -50,99 +54,52 @@ func main() {
 	}
 }
 
-// solveThreat runs the sequential reference solver (on the Alpha model; the
-// output is machine-independent).
-func solveThreat(s *threat.Scenario) ([]threat.Interval, error) {
-	var out *threat.Output
-	e := smp.New(smp.AlphaStation())
-	_, err := e.Run("ref", func(th *machine.Thread) { out = threat.Sequential(th, s) })
+// solve runs one registered variant over a scenario on the reference machine
+// (the Alpha model; outputs are machine-independent) in validate mode and
+// returns the checksummed output.
+func solve(v *suite.Variant, sc suite.Scenario) (suite.Output, error) {
+	alpha, err := platforms.Get("alpha")
 	if err != nil {
-		return nil, err
+		return suite.Output{}, err
 	}
-	return out.Intervals, nil
+	var out suite.Output
+	_, err = alpha.New(1).Run("ref", func(t *machine.Thread) {
+		out = v.Exec(t, sc, suite.Params{suite.ValidateParam: 1})
+	})
+	return out, err
 }
 
-func solveTerrain(s *terrain.Scenario) (*terrain.Masking, error) {
-	var out *terrain.Output
-	e := smp.New(smp.AlphaStation())
-	_, err := e.Run("ref", func(th *machine.Thread) { out = terrain.Sequential(th, s) })
-	if err != nil {
-		return nil, err
-	}
-	return out.Masking, nil
+// scenarioPath names a workload's i-th scenario file (1-based).
+func scenarioPath(dir string, w *suite.Workload, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%d.c3i", w.FileTag, i))
 }
 
-// solveRoute runs one Route Optimization variant and returns the path costs.
-func solveRoute(s *route.Scenario, variant string) ([]int64, error) {
-	var out *route.Output
-	var e *machine.Engine
-	var run func(th *machine.Thread)
-	switch variant {
-	case "sequential":
-		e = smp.New(smp.AlphaStation())
-		run = func(th *machine.Thread) { out = route.Sequential(th, s) }
-	case "coarse":
-		e = smp.New(smp.PentiumProSMP(4))
-		run = func(th *machine.Thread) { out = route.Coarse(th, s, 4, 4) }
-	case "fine":
-		e = mta.New(mta.Params{Procs: 1})
-		run = func(th *machine.Thread) { out = route.Fine(th, s, 64) }
-	default:
-		return nil, fmt.Errorf("c3idata: unknown route variant %q", variant)
-	}
-	if _, err := e.Run("ref", run); err != nil {
-		return nil, err
-	}
-	return out.PathCost, nil
-}
-
-func generate(dir string, scaleTA, scaleTM, scaleRO float64) error {
+func generate(dir string, scales map[string]*float64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	var goldens []data.Golden
-
-	for i, s := range threat.Suite(scaleTA) {
-		path := filepath.Join(dir, fmt.Sprintf("threat-%d.c3i", i+1))
-		if err := data.SaveThreatScenario(path, s); err != nil {
-			return err
-		}
-		ivs, err := solveThreat(s)
+	for _, w := range suite.All() {
+		codec, err := data.CodecFor(w.Name)
 		if err != nil {
 			return err
 		}
-		sum := data.IntervalsChecksum(ivs)
-		goldens = append(goldens, data.Golden{Scenario: s.Name, Kind: "threat-analysis", Checksum: sum})
-		fmt.Printf("wrote %-22s %5d threats %6d intervals  checksum %016x\n",
-			path, len(s.Threats), len(ivs), sum)
-	}
-	for i, s := range terrain.Suite(scaleTM) {
-		path := filepath.Join(dir, fmt.Sprintf("terrain-%d.c3i", i+1))
-		if err := data.SaveTerrainScenario(path, s); err != nil {
-			return err
+		ref := w.MustVariant(w.Reference)
+		for i, sc := range w.Generate(*scales[w.Name]) {
+			path := scenarioPath(dir, w, i+1)
+			if err := codec.Save(path, sc); err != nil {
+				return err
+			}
+			out, err := solve(ref, sc)
+			if err != nil {
+				return err
+			}
+			goldens = append(goldens, data.Golden{
+				Scenario: sc.ScenarioName(), Kind: w.Name, Checksum: out.Checksum,
+			})
+			fmt.Printf("wrote %-22s %5d %-24s checksum %016x\n",
+				path, sc.Units(), w.UnitName, out.Checksum)
 		}
-		m, err := solveTerrain(s)
-		if err != nil {
-			return err
-		}
-		sum := data.MaskingChecksum(m)
-		goldens = append(goldens, data.Golden{Scenario: s.Name, Kind: "terrain-masking", Checksum: sum})
-		fmt.Printf("wrote %-22s %5d sites   %6d masked   checksum %016x\n",
-			path, len(s.Threats), m.FiniteCells(), sum)
-	}
-	for i, s := range route.Suite(scaleRO) {
-		path := filepath.Join(dir, fmt.Sprintf("route-%d.c3i", i+1))
-		if err := data.SaveRouteScenario(path, s); err != nil {
-			return err
-		}
-		costs, err := solveRoute(s, "sequential")
-		if err != nil {
-			return err
-		}
-		sum := data.PathCostChecksum(costs)
-		goldens = append(goldens, data.Golden{Scenario: s.Name, Kind: "route-optimization", Checksum: sum})
-		fmt.Printf("wrote %-22s %5d cells   %6d routes   checksum %016x\n",
-			path, s.Cells(), len(s.Queries), sum)
 	}
 	gpath := filepath.Join(dir, "golden.c3i")
 	if err := data.SaveGolden(gpath, goldens); err != nil {
@@ -158,66 +115,32 @@ func validate(dir string) error {
 		return err
 	}
 	failures := 0
-	for i := 1; ; i++ {
-		path := filepath.Join(dir, fmt.Sprintf("threat-%d.c3i", i))
-		if _, err := os.Stat(path); err != nil {
-			break
-		}
-		s, err := data.LoadThreatScenario(path)
+	for _, w := range suite.All() {
+		codec, err := data.CodecFor(w.Name)
 		if err != nil {
 			return err
 		}
-		ivs, err := solveThreat(s)
-		if err != nil {
-			return err
-		}
-		if err := data.CheckGolden(goldens, s.Name, "threat-analysis", data.IntervalsChecksum(ivs)); err != nil {
-			fmt.Printf("FAIL %s: %v\n", path, err)
-			failures++
-		} else {
-			fmt.Printf("ok   %s\n", path)
-		}
-	}
-	for i := 1; ; i++ {
-		path := filepath.Join(dir, fmt.Sprintf("terrain-%d.c3i", i))
-		if _, err := os.Stat(path); err != nil {
-			break
-		}
-		s, err := data.LoadTerrainScenario(path)
-		if err != nil {
-			return err
-		}
-		m, err := solveTerrain(s)
-		if err != nil {
-			return err
-		}
-		if err := data.CheckGolden(goldens, s.Name, "terrain-masking", data.MaskingChecksum(m)); err != nil {
-			fmt.Printf("FAIL %s: %v\n", path, err)
-			failures++
-		} else {
-			fmt.Printf("ok   %s\n", path)
-		}
-	}
-	for i := 1; ; i++ {
-		path := filepath.Join(dir, fmt.Sprintf("route-%d.c3i", i))
-		if _, err := os.Stat(path); err != nil {
-			break
-		}
-		s, err := data.LoadRouteScenario(path)
-		if err != nil {
-			return err
-		}
-		// All three variants must reproduce the golden path costs.
-		for _, variant := range []string{"sequential", "coarse", "fine"} {
-			costs, err := solveRoute(s, variant)
+		for i := 1; ; i++ {
+			path := scenarioPath(dir, w, i)
+			if _, err := os.Stat(path); err != nil {
+				break
+			}
+			sc, err := codec.Load(path)
 			if err != nil {
 				return err
 			}
-			if err := data.CheckGolden(goldens, s.Name, "route-optimization", data.PathCostChecksum(costs)); err != nil {
-				fmt.Printf("FAIL %s (%s): %v\n", path, variant, err)
-				failures++
-			} else {
-				fmt.Printf("ok   %s (%s)\n", path, variant)
+			// Every registered validate variant must reproduce the golden.
+			for _, name := range w.ValidateVariants {
+				out, err := solve(w.MustVariant(name), sc)
+				if err != nil {
+					return err
+				}
+				if err := data.CheckGolden(goldens, sc.ScenarioName(), w.Name, out.Checksum); err != nil {
+					fmt.Printf("FAIL %s (%s): %v\n", path, name, err)
+					failures++
+				} else {
+					fmt.Printf("ok   %s (%s)\n", path, name)
+				}
 			}
 		}
 	}

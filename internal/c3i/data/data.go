@@ -11,16 +11,13 @@ package data
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/gob"
 	"fmt"
-	"hash/fnv"
 	"io"
-	"math"
 	"os"
-	"sort"
 
 	"repro/internal/c3i/route"
+	"repro/internal/c3i/suite"
 	"repro/internal/c3i/terrain"
 	"repro/internal/c3i/threat"
 )
@@ -191,69 +188,73 @@ func LoadRouteScenario(path string) (*route.Scenario, error) {
 // over the per-request path costs in query order. Every solver variant
 // converges to the same shortest distances, so all three produce the same
 // value regardless of their internal work order.
-func PathCostChecksum(costs []int64) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(costs)))
-	h.Write(buf[:])
-	for _, c := range costs {
-		binary.LittleEndian.PutUint64(buf[:], uint64(c))
-		h.Write(buf[:])
-	}
-	return h.Sum64()
-}
+func PathCostChecksum(costs []int64) uint64 { return route.Checksum(costs) }
 
 // IntervalsChecksum reduces a Threat Analysis result to a stable checksum:
 // the intervals are canonically sorted first, so all solver variants
 // (including the nondeterministically-ordered fine-grained one) produce the
 // same value.
-func IntervalsChecksum(ivs []threat.Interval) uint64 {
-	sorted := make([]threat.Interval, len(ivs))
-	copy(sorted, ivs)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.Threat != b.Threat {
-			return a.Threat < b.Threat
-		}
-		if a.Weapon != b.Weapon {
-			return a.Weapon < b.Weapon
-		}
-		if a.T1 != b.T1 {
-			return a.T1 < b.T1
-		}
-		return a.T2 < b.T2
-	})
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v int) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-		h.Write(buf[:])
-	}
-	put(len(sorted))
-	for _, iv := range sorted {
-		put(iv.Threat)
-		put(iv.Weapon)
-		put(iv.T1)
-		put(iv.T2)
-	}
-	return h.Sum64()
-}
+func IntervalsChecksum(ivs []threat.Interval) uint64 { return threat.Checksum(ivs) }
 
 // MaskingChecksum reduces a Terrain Masking result to a stable checksum over
 // the float32 bit patterns (+Inf cells included, so coverage changes are
 // detected).
-func MaskingChecksum(m *terrain.Masking) uint64 {
-	h := fnv.New64a()
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(m.W))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint32(buf[:], uint32(m.H))
-	h.Write(buf[:])
-	for _, v := range m.Vals {
-		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
-		h.Write(buf[:])
+func MaskingChecksum(m *terrain.Masking) uint64 { return m.Checksum() }
+
+// Codec bundles the serialization hooks for one registered workload kind,
+// so registry-driven consumers (cmd/c3idata) can save and load scenarios
+// without per-kind branches. Kind equals the suite.Workload name.
+type Codec struct {
+	Kind string
+	Save func(path string, sc suite.Scenario) error
+	Load func(path string) (suite.Scenario, error)
+}
+
+// codecs maps workload names to their serialization hooks. A workload added
+// to the suite registry needs exactly one entry here to join the data tools.
+var codecs = map[string]Codec{
+	kindThreat: {
+		Kind: kindThreat,
+		Save: func(path string, sc suite.Scenario) error {
+			s, ok := sc.(*threat.Scenario)
+			if !ok {
+				return fmt.Errorf("data: %s codec got %T", kindThreat, sc)
+			}
+			return SaveThreatScenario(path, s)
+		},
+		Load: func(path string) (suite.Scenario, error) { return LoadThreatScenario(path) },
+	},
+	kindTerrain: {
+		Kind: kindTerrain,
+		Save: func(path string, sc suite.Scenario) error {
+			s, ok := sc.(*terrain.Scenario)
+			if !ok {
+				return fmt.Errorf("data: %s codec got %T", kindTerrain, sc)
+			}
+			return SaveTerrainScenario(path, s)
+		},
+		Load: func(path string) (suite.Scenario, error) { return LoadTerrainScenario(path) },
+	},
+	kindRoute: {
+		Kind: kindRoute,
+		Save: func(path string, sc suite.Scenario) error {
+			s, ok := sc.(*route.Scenario)
+			if !ok {
+				return fmt.Errorf("data: %s codec got %T", kindRoute, sc)
+			}
+			return SaveRouteScenario(path, s)
+		},
+		Load: func(path string) (suite.Scenario, error) { return LoadRouteScenario(path) },
+	},
+}
+
+// CodecFor returns the serialization codec for a registered workload kind.
+func CodecFor(kind string) (Codec, error) {
+	c, ok := codecs[kind]
+	if !ok {
+		return Codec{}, fmt.Errorf("data: no codec for workload kind %q", kind)
 	}
-	return h.Sum64()
+	return c, nil
 }
 
 // Golden records the expected checksum for one scenario — the benchmark's

@@ -1,0 +1,151 @@
+package suite_test
+
+// Conformance tests for the real registered workloads: every workload the
+// repo ships must expose the full registry contract (≥3 variants spanning
+// all three program styles, resolvable reference/validate hooks), and all of
+// a workload's variants must agree on the output checksum at small scale —
+// the registry-level restatement of the suite's correctness test.
+
+import (
+	"testing"
+
+	_ "repro/internal/c3i/route" // register the three shipped workloads
+	"repro/internal/c3i/suite"
+	_ "repro/internal/c3i/terrain"
+	_ "repro/internal/c3i/threat"
+	"repro/internal/machine"
+	"repro/internal/platforms"
+)
+
+// shipped lists the repo's registered workloads with the small scales the
+// agreement test solves at (kept tiny: outputs are fully computed).
+var shipped = map[string]float64{
+	"threat-analysis":    0.02,
+	"terrain-masking":    0.05,
+	"route-optimization": 0.1,
+}
+
+func TestShippedWorkloadsConform(t *testing.T) {
+	for name := range shipped {
+		w, err := suite.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if len(w.Variants) < 3 {
+			t.Errorf("%s: %d variants, want ≥ 3", name, len(w.Variants))
+		}
+		styles := map[suite.Style]bool{}
+		for _, s := range w.Styles() {
+			styles[s] = true
+		}
+		for _, s := range []suite.Style{suite.Sequential, suite.Coarse, suite.Fine} {
+			if !styles[s] {
+				t.Errorf("%s: no %s-style variant", name, s)
+			}
+		}
+		if w.Reference == "" {
+			t.Errorf("%s: no reference variant", name)
+		} else if _, err := w.Variant(w.Reference); err != nil {
+			t.Errorf("%s: reference: %v", name, err)
+		}
+		if len(w.ValidateVariants) == 0 {
+			t.Errorf("%s: no validate variants", name)
+		}
+		if w.Key == "" || w.FileTag == "" || w.PaperUnits <= 0 || w.DefaultScale <= 0 || w.DataScale <= 0 {
+			t.Errorf("%s: incomplete metadata: %+v", name, w)
+		}
+	}
+	// All() must list the shipped workloads in paper order (other test
+	// binaries may have registered extra workloads; only relative order of
+	// the shipped three matters).
+	pos := map[string]int{}
+	for i, w := range suite.All() {
+		pos[w.Name] = i
+	}
+	order := []string{"threat-analysis", "terrain-masking", "route-optimization"}
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if _, ok := pos[a]; !ok {
+			t.Fatalf("All() missing %s", a)
+		}
+		if pos[a] >= pos[b] {
+			t.Errorf("All() lists %s (index %d) after %s (index %d)", a, pos[a], b, pos[b])
+		}
+	}
+}
+
+// solveRef runs one variant over a scenario on the Alpha model in validate
+// mode and returns the checksummed output.
+func solveRef(t *testing.T, v *suite.Variant, sc suite.Scenario) suite.Output {
+	t.Helper()
+	alpha, err := platforms.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out suite.Output
+	if _, err := alpha.New(1).Run("conformance", func(th *machine.Thread) {
+		out = v.Exec(th, sc, suite.Params{suite.ValidateParam: 1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestVariantChecksumsAgree(t *testing.T) {
+	for name, scale := range shipped {
+		name, scale := name, scale
+		t.Run(name, func(t *testing.T) {
+			w, err := suite.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scs := w.Generate(scale)
+			if len(scs) == 0 {
+				t.Fatal("Generate returned no scenarios")
+			}
+			sc := scs[0]
+			sc.Warm()
+			var golden uint64
+			for i, v := range w.Variants {
+				out := solveRef(t, v, sc)
+				if out.Checksum == 0 {
+					t.Errorf("%s/%s: validate run produced no checksum", name, v.Name)
+					continue
+				}
+				if i == 0 {
+					golden = out.Checksum
+					continue
+				}
+				if out.Checksum != golden {
+					t.Errorf("%s/%s: checksum %016x != %s's %016x",
+						name, v.Name, out.Checksum, w.Variants[0].Name, golden)
+				}
+			}
+		})
+	}
+}
+
+func TestVariantDefaultsAreComplete(t *testing.T) {
+	// Exec must hand Run a fully-populated param set: running every shipped
+	// variant with nil params must not panic (zero workers/chunks would).
+	for name, scale := range shipped {
+		w, err := suite.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scs := w.Generate(scale)
+		sc := scs[0]
+		sc.Warm()
+		alpha, err := platforms.Get("alpha")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range w.Variants {
+			if _, err := alpha.New(1).Run("defaults", func(th *machine.Thread) {
+				v.Exec(th, sc, nil)
+			}); err != nil {
+				t.Errorf("%s/%s with default params: %v", name, v.Name, err)
+			}
+		}
+	}
+}

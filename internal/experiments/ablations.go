@@ -3,8 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/c3i/terrain"
-	"repro/internal/c3i/threat"
+	"repro/internal/c3i/suite"
 	"repro/internal/machine"
 	"repro/internal/mta"
 	"repro/internal/report"
@@ -21,7 +20,7 @@ func runAblationStreams(cfg Config) (*Result, error) {
 		Columns: []string{"Chunks (threads)", "Model (s)", "Issue utilization"},
 		Notes: []string{
 			"paper §7: \"80 concurrent threads are typically required to obtain full utilization of a single Tera MTA processor\"",
-			fmt.Sprintf("scale %g normalized", cfg.ScaleTA),
+			fmt.Sprintf("scale %g normalized", cfg.Scale(TA)),
 		},
 	}
 	fig := &report.Figure{
@@ -43,51 +42,33 @@ func runAblationStreams(cfg Config) (*Result, error) {
 	return &Result{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}, nil
 }
 
+// mta1 builds a default single-processor MTA engine.
+func mta1() *machine.Engine { return mta.New(mta.Params{Procs: 1}) }
+
 // runAblationLatency isolates the role of exposed memory latency (the
 // cache-less MTA's dependent loads) in sequential performance: the same
-// kernels re-priced with all references fully pipelined (perfect lookahead)
-// versus the calibrated dependence mix.
+// kernels re-priced with all references fully pipelined (perfect lookahead,
+// the sequential variants' "pipelined" parameter) versus the calibrated
+// dependence mix.
 func runAblationLatency(cfg Config) (*Result, error) {
-	taSuiteV := taSuite(cfg.ScaleTA)
-	tmSuiteV := tmSuite(cfg.ScaleTM)
-
-	noDepTA := threat.DefaultCosts
-	noDepTA.TrajRefsPerStep += noDepTA.DepRefsPerStep // same traffic, pipelined
-	noDepTA.DepRefsPerStep = 0
-	noDepTM := terrain.DefaultCosts
-	noDepTM.StreamRefsPerVisit += noDepTM.DepRefsPerVisit
-	noDepTM.DepRefsPerVisit = 0
-
-	run := func(key string, costsTA *threat.Costs, costsTM *terrain.Costs) (float64, float64, error) {
-		resTA, err := runOnce("abl-lat-ta|"+key+fmt.Sprintf("|s%g", cfg.ScaleTA),
-			func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
-			func(t *machine.Thread) {
-				for _, s := range taSuiteV {
-					threat.SequentialWithCosts(t, s, *costsTA)
-				}
-			})
+	run := func(pipelined int) (float64, float64, error) {
+		p := suite.Params{"pipelined": pipelined}
+		taSec, _, err := runVariantOn(cfg, TA, "sequential", "abl-lat-mta1", mta1, p)
 		if err != nil {
 			return 0, 0, err
 		}
-		resTM, err := runOnce("abl-lat-tm|"+key+fmt.Sprintf("|s%g", cfg.ScaleTM),
-			func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
-			func(t *machine.Thread) {
-				for _, s := range tmSuiteV {
-					terrain.SequentialOpt(t, s, terrain.Opt{Costs: *costsTM, ChargeOnly: true})
-				}
-			})
+		tmSec, _, err := runVariantOn(cfg, TM, "sequential", "abl-lat-mta1", mta1, p)
 		if err != nil {
 			return 0, 0, err
 		}
-		return resTA.Seconds * taNorm(taSuiteV), resTM.Seconds * tmNorm(tmSuiteV), nil
+		return taSec, tmSec, nil
 	}
 
-	defTA, defTM := threat.DefaultCosts, terrain.DefaultCosts
-	taDep, tmDep, err := run("dep", &defTA, &defTM)
+	taDep, tmDep, err := run(0)
 	if err != nil {
 		return nil, err
 	}
-	taPipe, tmPipe, err := run("pipe", &noDepTA, &noDepTM)
+	taPipe, tmPipe, err := run(1)
 	if err != nil {
 		return nil, err
 	}
@@ -109,26 +90,14 @@ func runAblationLatency(cfg Config) (*Result, error) {
 // network" factors the paper blames for the 1.4–1.8 two-processor speedups:
 // remote-latency multiplier and aggregate bandwidth efficiency.
 func runAblationNetwork(cfg Config) (*Result, error) {
-	taSuiteV := taSuite(cfg.ScaleTA)
-	tmSuiteV := tmSuite(cfg.ScaleTM)
+	taParams := suite.Params{"chunks": 256}
+	tmParams := suite.Params{"sectors": tmSectors, "merge": tmMergeChunks}
 
-	base1TA, err := runOnce(fmt.Sprintf("abl-net-ta-base|s%g", cfg.ScaleTA),
-		func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
-		func(t *machine.Thread) {
-			for _, s := range taSuiteV {
-				threat.Chunked(t, s, 256)
-			}
-		})
+	base1TA, _, err := runVariantOn(cfg, TA, "coarse", "abl-net-mta1", mta1, taParams)
 	if err != nil {
 		return nil, err
 	}
-	base1TM, err := runOnce(fmt.Sprintf("abl-net-tm-base|s%g", cfg.ScaleTM),
-		func() *machine.Engine { return mta.New(mta.Params{Procs: 1}) },
-		func(t *machine.Thread) {
-			for _, s := range tmSuiteV {
-				terrain.FineOpt(t, s, tmSectors, tmMergeChunks, terrain.Opt{ChargeOnly: true})
-			}
-		})
+	base1TM, _, err := runVariantOn(cfg, TM, "fine", "abl-net-mta1", mta1, tmParams)
 	if err != nil {
 		return nil, err
 	}
@@ -144,32 +113,21 @@ func runAblationNetwork(cfg Config) (*Result, error) {
 	for _, net := range []struct{ lat, bw float64 }{
 		{1.0, 1.0}, {1.4, 0.8}, {1.8, 0.62}, {2.5, 0.45},
 	} {
-		net := net
 		p := mta.DefaultParams(2)
 		p.NetLatencyMult, p.NetBandwidthEff = net.lat, net.bw
-		resTA, err := runOnce(fmt.Sprintf("abl-net-ta|%g|%g|s%g", net.lat, net.bw, cfg.ScaleTA),
-			func() *machine.Engine { return mta.New(p) },
-			func(t *machine.Thread) {
-				for _, s := range taSuiteV {
-					threat.Chunked(t, s, 256)
-				}
-			})
+		engKey := fmt.Sprintf("abl-net-mta2|lat%g|bw%g", net.lat, net.bw)
+		newEngine := func() *machine.Engine { return mta.New(p) }
+		taSec, _, err := runVariantOn(cfg, TA, "coarse", engKey, newEngine, taParams)
 		if err != nil {
 			return nil, err
 		}
-		resTM, err := runOnce(fmt.Sprintf("abl-net-tm|%g|%g|s%g", net.lat, net.bw, cfg.ScaleTM),
-			func() *machine.Engine { return mta.New(p) },
-			func(t *machine.Thread) {
-				for _, s := range tmSuiteV {
-					terrain.FineOpt(t, s, tmSectors, tmMergeChunks, terrain.Opt{ChargeOnly: true})
-				}
-			})
+		tmSec, _, err := runVariantOn(cfg, TM, "fine", engKey, newEngine, tmParams)
 		if err != nil {
 			return nil, err
 		}
 		tb.AddRow(net.lat, net.bw,
-			report.FormatSpeedup(base1TA.Seconds/resTA.Seconds),
-			report.FormatSpeedup(base1TM.Seconds/resTM.Seconds))
+			report.FormatSpeedup(base1TA/taSec),
+			report.FormatSpeedup(base1TM/tmSec))
 	}
 	return &Result{Tables: []*report.Table{tb}}, nil
 }
@@ -182,7 +140,7 @@ func runAblationBlocking(cfg Config) (*Result, error) {
 		ID:      "ablation-blocking",
 		Title:   "Coarse-grained Terrain Masking on 16-processor Exemplar vs lock blocking factor",
 		Columns: []string{"Blocks per side", "Locks", "Model (s)"},
-		Notes:   []string{fmt.Sprintf("16 workers; scale %g normalized; the paper ran ten-by-ten", cfg.ScaleTM)},
+		Notes:   []string{fmt.Sprintf("16 workers; scale %g normalized; the paper ran ten-by-ten", cfg.Scale(TM))},
 	}
 	for _, blocks := range []int{1, 2, 4, 10, 20, 40} {
 		sec, _, err := tmCoarse(cfg, "exemplar", 16, 16, blocks)

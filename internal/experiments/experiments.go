@@ -3,36 +3,67 @@
 // out. Each experiment runs the real benchmark programs through the machine
 // models and reports the model's numbers side by side with the paper's.
 //
-// Workloads run at a configurable scale (fraction of the paper's threat
-// counts); reported model times are normalized back to scale 1, so they are
-// directly comparable with the paper columns. Comparisons are about shape —
-// who wins, by what factor, where the curves bend — not absolute seconds;
-// EXPERIMENTS.md records both for every table.
+// Workloads and their program variants are resolved exclusively through the
+// internal/c3i/suite registry: experiments never call a workload's solver
+// functions directly, so a new workload registered with the suite is
+// immediately runnable here. Workloads run at a configurable scale (fraction
+// of the paper's unit counts); reported model times are normalized back to
+// scale 1, so they are directly comparable with the paper columns.
+// Comparisons are about shape — who wins, by what factor, where the curves
+// bend — not absolute seconds; EXPERIMENTS.md records both for every table.
 package experiments
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
+	"time"
 
-	"repro/internal/c3i/route"
-	"repro/internal/c3i/terrain"
-	"repro/internal/c3i/threat"
+	_ "repro/internal/c3i/route" // register the Route Optimization workload
+	"repro/internal/c3i/suite"
+	_ "repro/internal/c3i/terrain" // register the Terrain Masking workload
+	_ "repro/internal/c3i/threat"  // register the Threat Analysis workload
 	"repro/internal/machine"
+	"repro/internal/platforms"
 	"repro/internal/report"
+)
+
+// Registered workload names, as used in Config.Scales and the run helpers.
+const (
+	TA = "threat-analysis"
+	TM = "terrain-masking"
+	RO = "route-optimization"
 )
 
 // Config controls workload sizes for one experiment run.
 type Config struct {
-	ScaleTA float64 // fraction of the paper's 1000 threats/scenario
-	ScaleTM float64 // fraction of the paper's 60 threats/scenario
-	ScaleRO float64 // fraction of the route suite's 12 requests/scenario
+	// Scales maps a registered workload name to the fraction of its
+	// paper-scale workload to run; missing or non-positive entries fall
+	// back to the workload's registered default.
+	Scales map[string]float64
 }
 
-// DefaultConfig balances fidelity (enough threats for the paper's
-// load-balancing granularity effects) against wall-clock time.
+// DefaultConfig takes every registered workload at its registered default
+// scale — balanced between fidelity (enough units for the paper's
+// granularity effects) and wall-clock time.
 func DefaultConfig() Config {
-	return Config{ScaleTA: 0.25, ScaleTM: 0.5, ScaleRO: 0.25}
+	cfg := Config{Scales: map[string]float64{}}
+	for _, w := range suite.All() {
+		cfg.Scales[w.Name] = w.DefaultScale
+	}
+	return cfg
+}
+
+// Scale returns the configured scale for a workload, falling back to the
+// registry default.
+func (c Config) Scale(workload string) float64 {
+	if s, ok := c.Scales[workload]; ok && s > 0 {
+		return s
+	}
+	if w, err := suite.Lookup(workload); err == nil {
+		return w.DefaultScale
+	}
+	return 1
 }
 
 // Result is an experiment's rendered output.
@@ -96,107 +127,258 @@ func IDs() []string {
 	return out
 }
 
-// --- Workload caches -------------------------------------------------------
+// Outcome is one experiment's result from a RunMany batch.
+type Outcome struct {
+	Experiment Experiment
+	Result     *Result
+	Err        error
+	Elapsed    time.Duration
+}
+
+// RunMany runs the experiments with the given IDs through a pool of jobs
+// workers (jobs ≤ 1 means serial) and returns outcomes in the requested
+// order regardless of completion order, so parallel sweeps report exactly
+// like serial ones. The caches below are shared and single-flight, so cells
+// reused across experiments (e.g. the summary tables) are computed once even
+// when the experiments needing them run concurrently. Unknown IDs yield an
+// Outcome with Err set; the remaining experiments still run.
+func RunMany(ids []string, cfg Config, jobs int) []Outcome {
+	return RunEach(ids, cfg, jobs, nil)
+}
+
+// RunEach is RunMany with streaming: emit (if non-nil) is called once per
+// outcome, in request order, as soon as that outcome and all its
+// predecessors have completed — a serial run therefore reports each
+// experiment the moment it finishes, exactly like a plain loop, while a
+// parallel run still prints deterministically.
+func RunEach(ids []string, cfg Config, jobs int, emit func(Outcome)) []Outcome {
+	out := make([]Outcome, len(ids))
+	ready := make([]chan struct{}, len(ids))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(ids) {
+		jobs = len(ids)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i] = runExperiment(ids[i], cfg)
+				close(ready[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range ids {
+			work <- i
+		}
+		close(work)
+	}()
+	for i := range ids {
+		<-ready[i]
+		if emit != nil {
+			emit(out[i])
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// runExperiment resolves and runs one experiment ID.
+func runExperiment(id string, cfg Config) Outcome {
+	id = strings.TrimSpace(id)
+	e, err := Get(id)
+	if err != nil {
+		return Outcome{Experiment: Experiment{ID: id}, Err: err}
+	}
+	start := time.Now()
+	res, err := e.Run(cfg)
+	return Outcome{Experiment: e, Result: res, Err: err, Elapsed: time.Since(start)}
+}
+
+// --- Workload and result caches --------------------------------------------
+
+// onceMap memoizes expensive computations by key and collapses concurrent
+// calls for the same key into one execution (RunMany workers share workload
+// suites and experiment cells). reset advances a generation so computations
+// started before a reset cannot repopulate the post-reset maps.
+type onceMap[T any] struct {
+	mu       sync.Mutex
+	gen      int
+	done     map[string]T
+	inflight map[string]*onceCall[T]
+}
+
+type onceCall[T any] struct {
+	ready chan struct{}
+	val   T
+	err   error
+}
+
+// initLocked lazily allocates the maps; callers hold mu.
+func (m *onceMap[T]) initLocked() {
+	if m.done == nil {
+		m.done = map[string]T{}
+	}
+	if m.inflight == nil {
+		m.inflight = map[string]*onceCall[T]{}
+	}
+}
+
+func (m *onceMap[T]) do(key string, fn func() (T, error)) (T, error) {
+	m.mu.Lock()
+	m.initLocked()
+	if v, ok := m.done[key]; ok {
+		m.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := m.inflight[key]; ok {
+		m.mu.Unlock()
+		<-c.ready
+		return c.val, c.err
+	}
+	c := &onceCall[T]{ready: make(chan struct{})}
+	m.inflight[key] = c
+	gen := m.gen
+	m.mu.Unlock()
+
+	c.val, c.err = fn()
+	m.mu.Lock()
+	// A reset during the computation dropped this call from inflight and
+	// invalidated its result; only same-generation results are memoized.
+	if m.gen == gen {
+		if c.err == nil {
+			m.done[key] = c.val
+		}
+		delete(m.inflight, key)
+	}
+	m.mu.Unlock()
+	close(c.ready)
+	return c.val, c.err
+}
+
+func (m *onceMap[T]) reset() {
+	m.mu.Lock()
+	m.gen++
+	m.done = map[string]T{}
+	m.inflight = map[string]*onceCall[T]{}
+	m.mu.Unlock()
+}
 
 var (
-	cacheMu  sync.Mutex
-	taSuites = map[float64][]*threat.Scenario{}
-	tmSuites = map[float64][]*terrain.Scenario{}
-	roSuites = map[float64][]*route.Scenario{}
-	runCache = map[string]machine.Result{}
+	suiteCache onceMap[[]suite.Scenario]
+	runCache   onceMap[machine.Result]
 )
 
-// taSuite returns the (memoized) Threat Analysis suite at a scale.
-func taSuite(scale float64) []*threat.Scenario {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if s, ok := taSuites[scale]; ok {
-		return s
-	}
-	s := threat.Suite(scale)
-	taSuites[scale] = s
-	return s
-}
-
-// tmSuite returns the (memoized, pre-warmed) Terrain Masking suite.
-func tmSuite(scale float64) []*terrain.Scenario {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if s, ok := tmSuites[scale]; ok {
-		return s
-	}
-	s := terrain.Suite(scale)
-	for _, sc := range s {
-		sc.Warm()
-	}
-	tmSuites[scale] = s
-	return s
-}
-
-// taNorm converts measured suite seconds to paper-scale seconds.
-func taNorm(suite []*threat.Scenario) float64 {
-	return 1000 / float64(len(suite[0].Threats))
-}
-
-// tmNorm converts measured suite seconds to paper-scale seconds.
-func tmNorm(suite []*terrain.Scenario) float64 {
-	return 60 / float64(len(suite[0].Threats))
-}
-
-// roSuite returns the (memoized) Route Optimization suite at a scale.
-func roSuite(scale float64) []*route.Scenario {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if s, ok := roSuites[scale]; ok {
-		return s
-	}
-	s := route.Suite(scale)
-	roSuites[scale] = s
-	return s
-}
-
-// roNorm converts measured suite seconds to full-suite-scale seconds.
-func roNorm(suite []*route.Scenario) float64 {
-	return float64(route.DefaultQueries) / float64(len(suite[0].Queries))
+// suiteFor returns the memoized scenario suite for a workload at a scale,
+// warmed so concurrent solver runs only read the shared scenarios.
+func suiteFor(workload string, scale float64) ([]suite.Scenario, error) {
+	return suiteCache.do(fmt.Sprintf("%s|s%g", workload, scale), func() ([]suite.Scenario, error) {
+		w, err := suite.Lookup(workload)
+		if err != nil {
+			return nil, err
+		}
+		scs := w.Generate(scale)
+		for _, sc := range scs {
+			sc.Warm()
+		}
+		return scs, nil
+	})
 }
 
 // runOnce executes run on a fresh engine built by newEngine and memoizes the
 // result under key (experiments share cells, e.g. the summary tables).
 func runOnce(key string, newEngine func() *machine.Engine, run func(t *machine.Thread)) (machine.Result, error) {
-	cacheMu.Lock()
-	if r, ok := runCache[key]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	e := newEngine()
-	res, err := e.Run(key, run)
+	return runCache.do(key, func() (machine.Result, error) {
+		e := newEngine()
+		res, err := e.Run(key, run)
+		if err != nil {
+			return machine.Result{}, fmt.Errorf("%s: %w", key, err)
+		}
+		return res, nil
+	})
+}
+
+// runVariant runs one registered workload variant over the memoized suite on
+// a paper platform, returning paper-scale-normalized seconds plus the raw
+// machine result (for utilization inspection).
+func runVariant(cfg Config, workload, variant, platform string, procs int, params suite.Params) (float64, machine.Result, error) {
+	spec, err := platforms.Get(platform)
 	if err != nil {
-		return machine.Result{}, fmt.Errorf("%s: %w", key, err)
+		return 0, machine.Result{}, err
 	}
-	cacheMu.Lock()
-	runCache[key] = res
-	cacheMu.Unlock()
-	return res, nil
+	return runVariantOn(cfg, workload, variant,
+		fmt.Sprintf("%s|p%d", platform, procs),
+		func() *machine.Engine { return spec.New(procs) }, params)
 }
 
-// ResetCaches drops all memoized workloads and results (tests use this to
-// control memory).
+// runVariantOn is runVariant with an explicit engine constructor — the
+// ablations and projections build custom machine configurations. engineKey
+// must identify the engine configuration for memoization.
+func runVariantOn(cfg Config, workload, variant, engineKey string, newEngine func() *machine.Engine, params suite.Params) (float64, machine.Result, error) {
+	w, err := suite.Lookup(workload)
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	v, err := w.Variant(variant)
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	scale := cfg.Scale(workload)
+	scs, err := suiteFor(workload, scale)
+	if err != nil {
+		return 0, machine.Result{}, err
+	}
+	p := params.Merged(v.Defaults)
+	key := fmt.Sprintf("%s|%s|%s|%s|s%g", w.Key, variant, engineKey, p, scale)
+	res, err := runOnce(key, newEngine, func(t *machine.Thread) {
+		for _, sc := range scs {
+			v.Run(t, sc, p)
+		}
+	})
+	return res.Seconds * w.Norm(scs), res, err
+}
+
+// paperUnits returns a workload's registered paper-scale unit count. The
+// workload names here are compile-time constants, so a failed lookup is a
+// programming error and panics rather than corrupting a published table.
+func paperUnits(workload string) int {
+	w, err := suite.Lookup(workload)
+	if err != nil {
+		panic(err)
+	}
+	return w.PaperUnits
+}
+
+// coarseOverheadFullScaleGB projects a workload's coarse-variant
+// private-buffer storage at full problem size for a worker count, in GB —
+// the feasibility note the MTA tables quote. Panics if the workload has no
+// coarse variant with an OverheadFullScale hook (a wiring error, not data).
+func coarseOverheadFullScaleGB(workload string, workers int) float64 {
+	w, err := suite.Lookup(workload)
+	if err != nil {
+		panic(err)
+	}
+	v, err := w.Variant("coarse")
+	if err != nil {
+		panic(err)
+	}
+	if v.OverheadFullScale == nil {
+		panic(fmt.Sprintf("experiments: %s coarse variant has no OverheadFullScale hook", workload))
+	}
+	return float64(v.OverheadFullScale(workers)) / float64(1<<30)
+}
+
+// ResetCaches drops all memoized workloads and results (tests and the
+// per-iteration benchmark harness use this to control memory).
 func ResetCaches() {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	taSuites = map[float64][]*threat.Scenario{}
-	tmSuites = map[float64][]*terrain.Scenario{}
-	roSuites = map[float64][]*route.Scenario{}
-	runCache = map[string]machine.Result{}
-}
-
-// sortedKeys returns the sorted keys of an int-keyed map.
-func sortedKeys(m map[int]float64) []int {
-	var ks []int
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Ints(ks)
-	return ks
+	suiteCache.reset()
+	runCache.reset()
 }

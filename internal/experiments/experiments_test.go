@@ -10,7 +10,7 @@ import (
 // programs through machine models), so they are the repository's
 // end-to-end checks.
 
-var testCfg = Config{ScaleTA: 0.1, ScaleTM: 0.1, ScaleRO: 0.05}
+var testCfg = Config{Scales: map[string]float64{TA: 0.1, TM: 0.1, RO: 0.05}}
 
 func TestSequentialTAOrdering(t *testing.T) {
 	// Paper Table 2: Alpha < Exemplar < Pentium Pro ≪ Tera.
@@ -433,6 +433,139 @@ func TestRouteFineGrainedImpracticalOnSMP(t *testing.T) {
 	}
 	if fine < coarse*1.5 {
 		t.Errorf("fine (%.1f) vs coarse (%.1f) on Exemplar: want ≥ 1.5x worse", fine, coarse)
+	}
+}
+
+// render flattens an experiment result to one comparable string.
+func render(res *Result) string {
+	if res == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, tb := range res.Tables {
+		sb.WriteString(tb.Render())
+	}
+	for _, fig := range res.Figures {
+		sb.WriteString(fig.Render(56, 16))
+	}
+	sb.WriteString(res.Text)
+	return sb.String()
+}
+
+func TestRunManyParallelMatchesSerial(t *testing.T) {
+	// The acceptance property for the parallel runner: a -jobs 4 sweep must
+	// reproduce exactly the serial run's tables and figures, in order, with
+	// unknown IDs reported in place rather than aborting the sweep.
+	ids := []string{"table1", "table2", "table5", "autopar", "no-such-experiment", "ro-sequential"}
+	var streamed []string
+	serial := RunEach(ids, testCfg, 1, func(oc Outcome) {
+		streamed = append(streamed, oc.Experiment.ID)
+	})
+	ResetCaches()
+	parallel := RunMany(ids, testCfg, 4)
+	if len(streamed) != len(ids) {
+		t.Fatalf("emit called %d times, want %d", len(streamed), len(ids))
+	}
+	for i, id := range ids {
+		if streamed[i] != id {
+			t.Errorf("streamed[%d] = %q, want %q", i, streamed[i], id)
+		}
+	}
+	if len(serial) != len(ids) || len(parallel) != len(ids) {
+		t.Fatalf("outcome counts: serial %d, parallel %d, want %d", len(serial), len(parallel), len(ids))
+	}
+	for i, id := range ids {
+		s, p := serial[i], parallel[i]
+		if s.Experiment.ID != id || p.Experiment.ID != id {
+			t.Errorf("outcome %d out of order: serial %q, parallel %q, want %q",
+				i, s.Experiment.ID, p.Experiment.ID, id)
+		}
+		if id == "no-such-experiment" {
+			if s.Err == nil || p.Err == nil {
+				t.Errorf("unknown id %q did not error (serial %v, parallel %v)", id, s.Err, p.Err)
+			}
+			continue
+		}
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("%s failed: serial %v, parallel %v", id, s.Err, p.Err)
+		}
+		if render(s.Result) != render(p.Result) {
+			t.Errorf("%s: parallel output differs from serial", id)
+		}
+	}
+}
+
+func TestRunManyConcurrentSweep(t *testing.T) {
+	// Experiments that share summary cells run concurrently against the
+	// single-flight caches; every table must still materialize.
+	if testing.Short() {
+		t.Skip("concurrent sweep is slow")
+	}
+	ResetCaches()
+	ids := []string{"table2", "table5", "table6", "table7", "ablation-streams"}
+	for _, oc := range RunMany(ids, testCfg, len(ids)) {
+		if oc.Err != nil {
+			t.Fatalf("%s: %v", oc.Experiment.ID, oc.Err)
+		}
+		if len(oc.Result.Tables) == 0 || len(oc.Result.Tables[0].Rows) == 0 {
+			t.Errorf("%s: empty result", oc.Experiment.ID)
+		}
+	}
+}
+
+func TestDefaultConfigCoversRegistry(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, name := range []string{TA, TM, RO} {
+		if cfg.Scales[name] <= 0 {
+			t.Errorf("DefaultConfig missing scale for %s", name)
+		}
+		if cfg.Scale(name) != cfg.Scales[name] {
+			t.Errorf("Scale(%s) = %g, want %g", name, cfg.Scale(name), cfg.Scales[name])
+		}
+	}
+	// Missing entries fall back to registry defaults rather than zero.
+	if (Config{}).Scale(TA) <= 0 {
+		t.Error("zero Config does not fall back to the registered default scale")
+	}
+}
+
+func TestOnceMapResetBeforeFirstUse(t *testing.T) {
+	// The benchmark harness calls ResetCaches before the first cache use;
+	// a fresh-then-reset onceMap must still serve misses.
+	var m onceMap[int]
+	m.reset()
+	v, err := m.do("k", func() (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("do after reset = %d, %v", v, err)
+	}
+	m.reset()
+	calls := 0
+	v, err = m.do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || calls != 1 {
+		t.Errorf("reset did not drop memoized value: v=%d calls=%d err=%v", v, calls, err)
+	}
+}
+
+func TestOnceMapResetDuringInflight(t *testing.T) {
+	// A computation started before a reset must not repopulate the
+	// post-reset cache: its result belongs to the old generation.
+	var m onceMap[int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		m.do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	m.reset()
+	close(release)
+	// The stale call must not satisfy or poison post-reset lookups.
+	v, err := m.do("k", func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Errorf("post-reset do = %d, %v; want fresh value 2", v, err)
 	}
 }
 

@@ -3,8 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/c3i/terrain"
-	"repro/internal/c3i/threat"
+	"repro/internal/c3i/suite"
 	"repro/internal/machine"
 	"repro/internal/mta"
 	"repro/internal/report"
@@ -24,9 +23,6 @@ import (
 // keeps scaling where the cached SMPs saturated — provided the program can
 // supply enough threads, which is exactly the machine's precondition.
 func runProjectionScaling(cfg Config) (*Result, error) {
-	taSuiteV := taSuite(cfg.ScaleTA)
-	tmSuiteV := tmSuite(cfg.ScaleTM)
-
 	tb := &report.Table{
 		ID:      "projection-scaling",
 		Title:   "Projected Tera MTA scaling (the paper's future work, in the model)",
@@ -35,7 +31,7 @@ func runProjectionScaling(cfg Config) (*Result, error) {
 			"mature network assumed (latency multiplier 1.0, full bandwidth); threads scale with processors",
 			"TM fine keeps the per-threat driver serial (Amdahl-bound); TM hybrid overlaps drivers across workers with block locks",
 			"Threat Analysis tops out when the 1000-threat outer loop runs out of parallelism — the paper's \"not all programs have the potential for hundreds of threads\"",
-			fmt.Sprintf("scales %g/%g normalized", cfg.ScaleTA, cfg.ScaleTM),
+			fmt.Sprintf("scales %g/%g normalized", cfg.Scale(TA), cfg.Scale(TM)),
 		},
 	}
 
@@ -46,6 +42,10 @@ func runProjectionScaling(cfg Config) (*Result, error) {
 		return p
 	}
 
+	engine := func(procs int) (string, func() *machine.Engine) {
+		p := mature(procs)
+		return fmt.Sprintf("proj-mta%d", procs), func() *machine.Engine { return mta.New(p) }
+	}
 	runTA := func(procs int) (float64, error) {
 		// Enough threads to cover all processors' streams (until the threat
 		// count runs out — the interesting limit).
@@ -53,39 +53,22 @@ func runProjectionScaling(cfg Config) (*Result, error) {
 		if c := procs * 128; c > chunks {
 			chunks = c
 		}
-		p := mature(procs)
-		res, err := runOnce(fmt.Sprintf("proj-ta|p%d|s%g", procs, cfg.ScaleTA),
-			func() *machine.Engine { return mta.New(p) },
-			func(t *machine.Thread) {
-				for _, s := range taSuiteV {
-					threat.Chunked(t, s, chunks)
-				}
-			})
-		return res.Seconds, err
+		key, newEngine := engine(procs)
+		sec, _, err := runVariantOn(cfg, TA, "coarse", key, newEngine,
+			suite.Params{"chunks": chunks})
+		return sec, err
 	}
 	runTMFine := func(procs int) (float64, error) {
-		p := mature(procs)
-		res, err := runOnce(fmt.Sprintf("proj-tmf|p%d|s%g", procs, cfg.ScaleTM),
-			func() *machine.Engine { return mta.New(p) },
-			func(t *machine.Thread) {
-				for _, s := range tmSuiteV {
-					terrain.FineOpt(t, s, tmSectors*procs, tmMergeChunks*procs, terrain.Opt{ChargeOnly: true})
-				}
-			})
-		return res.Seconds, err
+		key, newEngine := engine(procs)
+		sec, _, err := runVariantOn(cfg, TM, "fine", key, newEngine,
+			suite.Params{"sectors": tmSectors * procs, "merge": tmMergeChunks * procs})
+		return sec, err
 	}
 	runTMHybrid := func(procs int) (float64, error) {
-		p := mature(procs)
-		workers := procs * 2
-		res, err := runOnce(fmt.Sprintf("proj-tmh|p%d|s%g", procs, cfg.ScaleTM),
-			func() *machine.Engine { return mta.New(p) },
-			func(t *machine.Thread) {
-				for _, s := range tmSuiteV {
-					terrain.HybridOpt(t, s, workers, tmSectors, tmMergeChunks, 10,
-						terrain.Opt{ChargeOnly: true})
-				}
-			})
-		return res.Seconds, err
+		key, newEngine := engine(procs)
+		sec, _, err := runVariantOn(cfg, TM, "hybrid", key, newEngine,
+			suite.Params{"workers": procs * 2, "sectors": tmSectors, "merge": tmMergeChunks, "blocks": 10})
+		return sec, err
 	}
 
 	taBase, err := runTA(1)

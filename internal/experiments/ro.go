@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/c3i/route"
+	"repro/internal/c3i/suite"
 	"repro/internal/machine"
 	"repro/internal/platforms"
 	"repro/internal/report"
@@ -23,56 +23,22 @@ const (
 // roSeq runs sequential Route Optimization (Dijkstra) on a platform and
 // returns full-suite-scale seconds.
 func roSeq(cfg Config, key string, procs int) (float64, error) {
-	suite := roSuite(cfg.ScaleRO)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, err
-	}
-	res, err := runOnce(fmt.Sprintf("ro-seq|%s|p%d|s%g", key, procs, cfg.ScaleRO),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				route.Sequential(t, s)
-			}
-		})
-	return res.Seconds * roNorm(suite), err
+	sec, _, err := runVariant(cfg, RO, "sequential", key, procs, nil)
+	return sec, err
 }
 
 // roCoarse runs the coarse ∆-stepping variant (private candidate buffers,
 // per-block merge locks) and returns full-suite-scale seconds plus the
 // machine result for utilization inspection.
 func roCoarse(cfg Config, key string, procs, workers int) (float64, machine.Result, error) {
-	suite := roSuite(cfg.ScaleRO)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	res, err := runOnce(fmt.Sprintf("ro-coarse|%s|p%d|w%d|s%g", key, procs, workers, cfg.ScaleRO),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				route.Coarse(t, s, workers, roBlocks)
-			}
-		})
-	return res.Seconds * roNorm(suite), res, err
+	return runVariant(cfg, RO, "coarse", key, procs,
+		suite.Params{"workers": workers, "blocks": roBlocks})
 }
 
 // roFine runs the fine-grained shared-bucket variant (fetch-and-add claims,
 // full/empty distance guards).
 func roFine(cfg Config, key string, procs, threadsN int) (float64, machine.Result, error) {
-	suite := roSuite(cfg.ScaleRO)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	res, err := runOnce(fmt.Sprintf("ro-fine|%s|p%d|t%d|s%g", key, procs, threadsN, cfg.ScaleRO),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				route.Fine(t, s, threadsN)
-			}
-		})
-	return res.Seconds * roNorm(suite), res, err
+	return runVariant(cfg, RO, "fine", key, procs, suite.Params{"threads": threadsN})
 }
 
 // runRouteSeq builds the paper-style sequential table for the third
@@ -88,7 +54,7 @@ func runRouteSeq(cfg Config) (*Result, error) {
 		Notes: []string{
 			"suite extension: the C3IPBS Route Optimization problem, not evaluated in the paper",
 			fmt.Sprintf("model at scale %g, normalized to the suite's %d route requests/scenario",
-				cfg.ScaleRO, route.DefaultQueries),
+				cfg.Scale(RO), paperUnits(RO)),
 		},
 	}
 	var alpha float64
@@ -126,7 +92,7 @@ func runRouteStreams(cfg Config) (*Result, error) {
 			"Exemplar-16 coarse (s)", "PPro-4 coarse (s)"},
 		Notes: []string{
 			"MTA runs the fine-grained shared-bucket variant, the SMPs the coarse private-buffer variant (each architecture's practical style)",
-			fmt.Sprintf("scale %g normalized", cfg.ScaleRO),
+			fmt.Sprintf("scale %g normalized", cfg.Scale(RO)),
 		},
 	}
 	fig := &report.Figure{
@@ -180,9 +146,9 @@ func runRouteVariants(cfg Config) (*Result, error) {
 		Columns: []string{"Parallelization", "Platform", "Model (s)"},
 		Notes: []string{
 			fmt.Sprintf("coarse style at %d workers would need %.1f GB of private candidate buffers at full terrain resolution vs %d GB on the MTA",
-				roMTAThreads, float64(route.CoarseFrontierBytesFullScale(roMTAThreads))/float64(1<<30), tera.MemoryBytes>>30),
+				roMTAThreads, coarseOverheadFullScaleGB(RO, roMTAThreads), tera.MemoryBytes>>30),
 			"two MTA processors gain little here: each wavefront's dependent-load chain bounds the phase critical path, and the development-status network lengthens it (cf. the paper's 1.4 Terrain Masking speedup)",
-			fmt.Sprintf("scale %g normalized", cfg.ScaleRO),
+			fmt.Sprintf("scale %g normalized", cfg.Scale(RO)),
 		},
 	}
 	type cell struct {

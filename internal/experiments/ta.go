@@ -3,63 +3,28 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/c3i/threat"
+	"repro/internal/c3i/suite"
 	"repro/internal/machine"
-	"repro/internal/platforms"
 	"repro/internal/report"
 )
 
 // taSeq runs sequential Threat Analysis on a platform and returns
 // paper-scale seconds.
 func taSeq(cfg Config, key string, procs int) (float64, error) {
-	suite := taSuite(cfg.ScaleTA)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, err
-	}
-	res, err := runOnce(fmt.Sprintf("ta-seq|%s|p%d|s%g", key, procs, cfg.ScaleTA),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				threat.Sequential(t, s)
-			}
-		})
-	return res.Seconds * taNorm(suite), err
+	sec, _, err := runVariant(cfg, TA, "sequential", key, procs, nil)
+	return sec, err
 }
 
 // taChunked runs the chunked (Program 2) variant and returns paper-scale
 // seconds plus the machine result (for utilization ablations).
 func taChunked(cfg Config, key string, procs, chunks int) (float64, machine.Result, error) {
-	suite := taSuite(cfg.ScaleTA)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	res, err := runOnce(fmt.Sprintf("ta-chunk|%s|p%d|c%d|s%g", key, procs, chunks, cfg.ScaleTA),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				threat.Chunked(t, s, chunks)
-			}
-		})
-	return res.Seconds * taNorm(suite), res, err
+	return runVariant(cfg, TA, "coarse", key, procs, suite.Params{"chunks": chunks})
 }
 
 // taFine runs the fine-grained (sync-variable) variant.
 func taFine(cfg Config, key string, procs int) (float64, error) {
-	suite := taSuite(cfg.ScaleTA)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, err
-	}
-	res, err := runOnce(fmt.Sprintf("ta-fine|%s|p%d|s%g", key, procs, cfg.ScaleTA),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				threat.FineGrained(t, s)
-			}
-		})
-	return res.Seconds * taNorm(suite), err
+	sec, _, err := runVariant(cfg, TA, "fine", key, procs, nil)
+	return sec, err
 }
 
 // runTable2 reproduces Table 2: sequential Threat Analysis on all four
@@ -69,7 +34,7 @@ func runTable2(cfg Config) (*Result, error) {
 		ID:      "table2",
 		Title:   "Execution time of sequential Threat Analysis without parallelization",
 		Columns: []string{"Platform", "Paper (s)", "Model (s)", "Model/Paper"},
-		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 1000 threats/scenario", cfg.ScaleTA)},
+		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 1000 threats/scenario", cfg.Scale(TA))},
 	}
 	for _, row := range []struct {
 		name, key string
@@ -146,7 +111,7 @@ func runTable3(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Threat Analysis on quad-processor Pentium Pro",
 		"Speedup of multithreaded Threat Analysis on quad-processor Pentium Pro",
 		PaperTable3, model, 4,
-		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.ScaleTA)), nil
+		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.Scale(TA))), nil
 }
 
 // runTable4 reproduces Table 4 / Figure 2: chunked Threat Analysis on the
@@ -169,7 +134,7 @@ func runTable4(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Threat Analysis on 16-processor Exemplar",
 		"Speedup of multithreaded Threat Analysis on 16-processor Exemplar",
 		PaperTable4, model, 16,
-		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.ScaleTA)), nil
+		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.Scale(TA))), nil
 }
 
 // runTable5 reproduces Table 5: chunked Threat Analysis on the Tera MTA with
@@ -179,7 +144,7 @@ func runTable5(cfg Config) (*Result, error) {
 		ID:      "table5",
 		Title:   "Execution time of multithreaded Threat Analysis on dual-processor Tera MTA",
 		Columns: []string{"Number of Processors", "Paper (s)", "Paper speedup", "Model (s)", "Model speedup"},
-		Notes:   []string{fmt.Sprintf("256 chunks; scale %g normalized", cfg.ScaleTA)},
+		Notes:   []string{fmt.Sprintf("256 chunks; scale %g normalized", cfg.Scale(TA))},
 	}
 	var oneProc float64
 	for _, p := range []int{1, 2} {
@@ -203,9 +168,9 @@ func runTable6(cfg Config) (*Result, error) {
 		ID:      "table6",
 		Title:   "Execution time of multithreaded Threat Analysis with varying number of chunks on Tera MTA",
 		Columns: []string{"Number of Chunks", "Paper (s)", "Model (s)"},
-		Notes:   []string{fmt.Sprintf("two processors; scale %g normalized", cfg.ScaleTA)},
+		Notes:   []string{fmt.Sprintf("two processors; scale %g normalized", cfg.Scale(TA))},
 	}
-	for _, chunks := range sortedKeys(PaperTable6) {
+	for _, chunks := range suite.SortedKeys(PaperTable6) {
 		sec, _, err := taChunked(cfg, "tera", 2, chunks)
 		if err != nil {
 			return nil, err
@@ -226,7 +191,7 @@ func runTable7(cfg Config) (*Result, error) {
 		Columns: []string{"Parallelization", "Platform", "Paper (s)", "Model (s)"},
 		Notes: []string{
 			"automatic parallelization found no opportunities (see experiment `autopar`), so those rows equal sequential execution",
-			fmt.Sprintf("scale %g normalized", cfg.ScaleTA),
+			fmt.Sprintf("scale %g normalized", cfg.Scale(TA)),
 		},
 	}
 	type cell struct {

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/c3i/terrain"
+	"repro/internal/c3i/suite"
 	"repro/internal/machine"
 	"repro/internal/platforms"
 	"repro/internal/report"
@@ -24,53 +24,21 @@ const tmBlocks = 10
 // tmSeq runs sequential Terrain Masking (charge-replay mode) and returns
 // paper-scale seconds.
 func tmSeq(cfg Config, key string, procs int) (float64, error) {
-	suite := tmSuite(cfg.ScaleTM)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, err
-	}
-	res, err := runOnce(fmt.Sprintf("tm-seq|%s|p%d|s%g", key, procs, cfg.ScaleTM),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				terrain.SequentialOpt(t, s, terrain.Opt{ChargeOnly: true})
-			}
-		})
-	return res.Seconds * tmNorm(suite), err
+	sec, _, err := runVariant(cfg, TM, "sequential", key, procs, nil)
+	return sec, err
 }
 
 // tmCoarse runs the coarse-grained lock-blocked variant.
 func tmCoarse(cfg Config, key string, procs, workers, blocks int) (float64, machine.Result, error) {
-	suite := tmSuite(cfg.ScaleTM)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	res, err := runOnce(fmt.Sprintf("tm-coarse|%s|p%d|w%d|b%d|s%g", key, procs, workers, blocks, cfg.ScaleTM),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				terrain.CoarseOpt(t, s, workers, blocks, terrain.Opt{ChargeOnly: true})
-			}
-		})
-	return res.Seconds * tmNorm(suite), res, err
+	return runVariant(cfg, TM, "coarse", key, procs,
+		suite.Params{"workers": workers, "blocks": blocks})
 }
 
 // tmFine runs the fine-grained inner-loop variant.
 func tmFine(cfg Config, key string, procs int) (float64, error) {
-	suite := tmSuite(cfg.ScaleTM)
-	spec, err := platforms.Get(key)
-	if err != nil {
-		return 0, err
-	}
-	res, err := runOnce(fmt.Sprintf("tm-fine|%s|p%d|s%g", key, procs, cfg.ScaleTM),
-		func() *machine.Engine { return spec.New(procs) },
-		func(t *machine.Thread) {
-			for _, s := range suite {
-				terrain.FineOpt(t, s, tmSectors, tmMergeChunks, terrain.Opt{ChargeOnly: true})
-			}
-		})
-	return res.Seconds * tmNorm(suite), err
+	sec, _, err := runVariant(cfg, TM, "fine", key, procs,
+		suite.Params{"sectors": tmSectors, "merge": tmMergeChunks})
+	return sec, err
 }
 
 // runTable8 reproduces Table 8: sequential Terrain Masking on all four
@@ -80,7 +48,7 @@ func runTable8(cfg Config) (*Result, error) {
 		ID:      "table8",
 		Title:   "Execution time of sequential Terrain Masking without parallelization",
 		Columns: []string{"Platform", "Paper (s)", "Model (s)", "Model/Paper"},
-		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 60 threats/scenario", cfg.ScaleTM)},
+		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 60 threats/scenario", cfg.Scale(TM))},
 	}
 	for _, row := range []struct {
 		name, key string
@@ -121,7 +89,7 @@ func runTable9(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Terrain Masking on quad-processor Pentium Pro",
 		"Speedup of coarse-grained multithreaded Terrain Masking on quad-processor Pentium Pro",
 		PaperTable9, model, 4,
-		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.ScaleTM)), nil
+		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.Scale(TM))), nil
 }
 
 // runTable10 reproduces Table 10 / Figure 4: coarse-grained Terrain Masking
@@ -144,7 +112,7 @@ func runTable10(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Terrain Masking on 16-processor Exemplar",
 		"Speedup of multithreaded Terrain Masking on 16-processor Exemplar",
 		PaperTable10, model, 16,
-		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.ScaleTM)), nil
+		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.Scale(TM))), nil
 }
 
 // runTable11 reproduces Table 11: fine-grained Terrain Masking on the Tera
@@ -162,9 +130,9 @@ func runTable11(cfg Config) (*Result, error) {
 		Columns: []string{"Number of Processors", "Paper (s)", "Paper speedup", "Model (s)", "Model speedup"},
 		Notes: []string{
 			fmt.Sprintf("fine-grained inner-loop parallelism (%d ray sectors, %d merge chunks); scale %g normalized",
-				tmSectors, tmMergeChunks, cfg.ScaleTM),
+				tmSectors, tmMergeChunks, cfg.Scale(TM)),
 			fmt.Sprintf("coarse-grained variant infeasible on the MTA: 256 workers would need %.1f GB of private temp arrays vs %d GB of memory",
-				float64(terrain.CoarseTempBytesFullScale(256))/float64(1<<30), tera.MemoryBytes>>30),
+				coarseOverheadFullScaleGB(TM, 256), tera.MemoryBytes>>30),
 		},
 	}
 	var oneProc float64
@@ -190,7 +158,7 @@ func runTable12(cfg Config) (*Result, error) {
 		Columns: []string{"Parallelization", "Platform", "Paper (s)", "Model (s)"},
 		Notes: []string{
 			"automatic parallelization found no opportunities (see experiment `autopar`), so those rows equal sequential execution",
-			fmt.Sprintf("scale %g normalized", cfg.ScaleTM),
+			fmt.Sprintf("scale %g normalized", cfg.Scale(TM)),
 		},
 	}
 	type cell struct {
