@@ -31,6 +31,7 @@ var benchCfg = experiments.Config{Scales: map[string]float64{
 	experiments.TA: 0.1,
 	experiments.TM: 0.2,
 	experiments.RO: 0.1,
+	experiments.PT: 0.1,
 }}
 
 // benchVariantScale sizes the per-variant workload benchmarks.

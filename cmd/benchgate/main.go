@@ -1,0 +1,71 @@
+// Command benchgate is the benchmark-regression CI gate: it converts
+// `go test -bench` output into a committed JSON artifact (benchmark name →
+// ns/op) and compares two artifacts with a generous ratio threshold, so
+// only large slowdowns fail a PR while runner noise and registry growth
+// pass through.
+//
+//	go test -bench . -benchtime 1x -run '^$' . | benchgate -parse -out BENCH_pr.json
+//	benchgate -baseline BENCH_baseline.json -current BENCH_pr.json -max-ratio 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/benchgate"
+)
+
+func main() {
+	var (
+		parse    = flag.Bool("parse", false, "read `go test -bench` output and write a JSON artifact")
+		in       = flag.String("in", "-", "bench output to parse (- = stdin)")
+		out      = flag.String("out", "BENCH_pr.json", "artifact path to write with -parse")
+		baseline = flag.String("baseline", "", "baseline artifact to compare against")
+		current  = flag.String("current", "", "current artifact to compare")
+		maxRatio = flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse:
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		rep, err := benchgate.Parse(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	case *baseline != "" && *current != "":
+		base, err := benchgate.ReadFile(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := benchgate.ReadFile(*current)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := benchgate.Compare(base, cur, *maxRatio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !cmp.Render(os.Stdout) {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: use -parse [-in bench.txt] -out X.json, or -baseline X.json -current Y.json")
+		os.Exit(2)
+	}
+}

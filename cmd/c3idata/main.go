@@ -6,11 +6,16 @@
 // come from the internal/c3i/suite registry, so a newly registered workload
 // joins the data tools by adding one serialization codec to internal/c3i/data.
 //
-// Route Optimization registers all three program variants for -check, since
-// they must converge to identical path costs; the other workloads re-check
-// their sequential reference.
+// Route Optimization and Plot-Track Assignment register all three program
+// variants for -check, since they must converge to identical outputs; the
+// other workloads re-check their sequential reference.
+//
+// -scale-small overrides every per-workload scale with its registered
+// SmallScale — the registry-derived smoke preset CI uses, so newly
+// registered workloads are covered without pipeline edits.
 //
 //	c3idata -gen -dir ./data -scale-ta 0.1 -scale-tm 0.1 -scale-ro 0.25
+//	c3idata -gen -dir ./data -scale-small
 //	c3idata -check -dir ./data
 package main
 
@@ -32,6 +37,8 @@ func main() {
 		gen   = flag.Bool("gen", false, "generate scenario files and golden checksums")
 		check = flag.Bool("check", false, "solve stored scenarios and verify against goldens")
 		dir   = flag.String("dir", "c3ipbs-data", "data directory")
+		small = flag.Bool("scale-small", false,
+			"use every workload's registered smoke-test scale (overrides the per-workload -scale-* flags)")
 	)
 	scales := map[string]*float64{}
 	for _, w := range suite.All() {
@@ -39,6 +46,11 @@ func main() {
 			fmt.Sprintf("%s scale (1 = %d %s)", w.Title, w.PaperUnits, w.UnitName))
 	}
 	flag.Parse()
+	if *small {
+		for _, w := range suite.All() {
+			*scales[w.Name] = w.SmallScale
+		}
+	}
 	switch {
 	case *gen:
 		if err := generate(*dir, scales); err != nil {

@@ -1,0 +1,159 @@
+// Package benchgate turns `go test -bench` output into a committed JSON
+// artifact (benchmark name → ns/op) and compares two such artifacts with a
+// regression threshold — the repository's benchmark-regression CI gate.
+//
+// The gate is deliberately generous: CI runners are shared, noisy machines
+// and the committed baseline may have been recorded on different hardware,
+// so only large ratios (the default gate is 2×) are treated as regressions.
+// Benchmarks present in only one artifact are reported but never fail the
+// gate — registry growth adds benchmarks on every workload, and that must
+// not require baseline surgery to land.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Report is the committed artifact: benchmark name → ns/op. Names are
+// normalized (the -GOMAXPROCS suffix stripped), so artifacts recorded on
+// machines with different core counts stay comparable.
+type Report struct {
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output:
+//
+//	BenchmarkWorkloadVariants/pt/fine-8   1   123456 ns/op   0.43 model-s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// Parse extracts benchmark results from `go test -bench` output. Lines that
+// are not benchmark results (headers, PASS/ok trailers, log noise) are
+// ignored. Repeated names (a `-count N` run) keep the minimum measurement —
+// min-of-N is the standard noise reducer for single-iteration benchmarks on
+// shared runners.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := rep.Benchmarks[m[1]]; !ok || ns < prev {
+			rep.Benchmarks[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark results found in input")
+	}
+	return rep, nil
+}
+
+// WriteFile writes the report as stable (sorted-key, indented) JSON.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ") // map keys marshal sorted
+	if err != nil {
+		return fmt.Errorf("benchgate: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchgate: %s holds no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// Regression is one benchmark that slowed beyond the gate's threshold.
+type Regression struct {
+	Name      string
+	BaseNsOp  float64
+	CurNsOp   float64
+	Ratio     float64
+	Threshold float64
+}
+
+// Comparison is the gate's verdict over two reports.
+type Comparison struct {
+	Regressions []Regression // current/base > threshold, sorted worst first
+	Missing     []string     // in base, absent from current (renamed/removed)
+	Added       []string     // in current, absent from base (new benchmarks)
+	Compared    int          // benchmarks present in both
+}
+
+// Compare evaluates current against base with a ratio threshold (> 1).
+func Compare(base, current *Report, threshold float64) (*Comparison, error) {
+	if threshold <= 1 {
+		return nil, fmt.Errorf("benchgate: threshold %g, need > 1", threshold)
+	}
+	c := &Comparison{}
+	for name, b := range base.Benchmarks {
+		cur, ok := current.Benchmarks[name]
+		if !ok {
+			c.Missing = append(c.Missing, name)
+			continue
+		}
+		c.Compared++
+		if b > 0 && cur/b > threshold {
+			c.Regressions = append(c.Regressions, Regression{
+				Name: name, BaseNsOp: b, CurNsOp: cur, Ratio: cur / b, Threshold: threshold,
+			})
+		}
+	}
+	for name := range current.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			c.Added = append(c.Added, name)
+		}
+	}
+	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Ratio > c.Regressions[j].Ratio })
+	sort.Strings(c.Missing)
+	sort.Strings(c.Added)
+	return c, nil
+}
+
+// Render writes the human-readable verdict to w and reports whether the
+// gate passes.
+func (c *Comparison) Render(w io.Writer) bool {
+	fmt.Fprintf(w, "benchgate: %d benchmarks compared, %d added, %d missing\n",
+		c.Compared, len(c.Added), len(c.Missing))
+	for _, name := range c.Added {
+		fmt.Fprintf(w, "  new:      %s (not in baseline — informational)\n", name)
+	}
+	for _, name := range c.Missing {
+		fmt.Fprintf(w, "  missing:  %s (in baseline only — informational)\n", name)
+	}
+	for _, r := range c.Regressions {
+		fmt.Fprintf(w, "  REGRESSED %s: %.0f → %.0f ns/op (%.2fx > %.2fx gate)\n",
+			r.Name, r.BaseNsOp, r.CurNsOp, r.Ratio, r.Threshold)
+	}
+	if len(c.Regressions) == 0 {
+		fmt.Fprintln(w, "benchgate: no regressions beyond the gate")
+		return true
+	}
+	return false
+}

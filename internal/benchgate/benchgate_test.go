@@ -1,0 +1,153 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkExperiments/table1-8         	       1	    152000 ns/op	         0 key-model-s
+BenchmarkExperiments/pt-streams-8     	       1	 310000000 ns/op	         0.19 key-model-s
+BenchmarkWorkloadVariants/ta/sequential-8 	       1	  52000000 ns/op	       218.0 model-s
+BenchmarkWorkloadVariants/pt/fine-16  	       1	  12345678.5 ns/op	         0.21 model-s
+not a benchmark line
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseNormalizesNames(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkExperiments/table1":             152000,
+		"BenchmarkExperiments/pt-streams":         310000000,
+		"BenchmarkWorkloadVariants/ta/sequential": 52000000,
+		"BenchmarkWorkloadVariants/pt/fine":       12345678.5,
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(rep.Benchmarks), len(want), rep.Benchmarks)
+	}
+	for name, ns := range want {
+		if got := rep.Benchmarks[name]; got != ns {
+			t.Errorf("%s = %g, want %g (GOMAXPROCS suffix must be stripped)", name, got, ns)
+		}
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Error("no benchmark lines accepted")
+	}
+}
+
+func TestParseKeepsMinimumOfRepeats(t *testing.T) {
+	// A -count N run repeats each benchmark; the artifact keeps the
+	// minimum, the standard noise floor for 1-iteration measurements.
+	out := `BenchmarkX/a-8 1 300 ns/op
+BenchmarkX/a-8 1 100 ns/op
+BenchmarkX/a-8 1 200 ns/op
+`
+	rep, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Benchmarks["BenchmarkX/a"]; got != 100 {
+		t.Errorf("BenchmarkX/a = %g, want the minimum 100", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_pr.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d vs %d", len(got.Benchmarks), len(rep.Benchmarks))
+	}
+	for name, ns := range rep.Benchmarks {
+		if got.Benchmarks[name] != ns {
+			t.Errorf("%s = %g after round trip, want %g", name, got.Benchmarks[name], ns)
+		}
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := &Report{Benchmarks: map[string]float64{
+		"a": 100, "b": 100, "c": 100, "gone": 50,
+	}}
+	cur := &Report{Benchmarks: map[string]float64{
+		"a":   150, // 1.5x — inside a 2x gate
+		"b":   250, // 2.5x — regression
+		"c":   40,  // improvement
+		"new": 1,   // added
+	}}
+	c, err := Compare(base, cur, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Compared != 3 {
+		t.Errorf("Compared = %d, want 3", c.Compared)
+	}
+	if len(c.Regressions) != 1 || c.Regressions[0].Name != "b" {
+		t.Fatalf("Regressions = %+v, want just b", c.Regressions)
+	}
+	if r := c.Regressions[0].Ratio; r < 2.49 || r > 2.51 {
+		t.Errorf("ratio = %g, want 2.5", r)
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "gone" {
+		t.Errorf("Missing = %v", c.Missing)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "new" {
+		t.Errorf("Added = %v", c.Added)
+	}
+	var sb strings.Builder
+	if c.Render(&sb) {
+		t.Error("gate passed with a regression")
+	}
+	if !strings.Contains(sb.String(), "REGRESSED b") {
+		t.Errorf("verdict %q does not name the regression", sb.String())
+	}
+
+	ok, err := Compare(base, base, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if !ok.Render(&sb) {
+		t.Error("identical reports failed the gate")
+	}
+	// Missing and added benchmarks alone must not fail the gate.
+	sb.Reset()
+	if !c2(t, base, &Report{Benchmarks: map[string]float64{"a": 100}}).Render(&sb) {
+		t.Error("missing benchmarks failed the gate — they are informational")
+	}
+}
+
+func c2(t *testing.T, base, cur *Report) *Comparison {
+	t.Helper()
+	c, err := Compare(base, cur, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCompareRejectsBadThreshold(t *testing.T) {
+	r := &Report{Benchmarks: map[string]float64{"a": 1}}
+	if _, err := Compare(r, r, 1.0); err == nil {
+		t.Error("threshold 1.0 accepted")
+	}
+}

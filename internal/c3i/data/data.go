@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/c3i/plottrack"
 	"repro/internal/c3i/route"
 	"repro/internal/c3i/suite"
 	"repro/internal/c3i/terrain"
@@ -23,14 +24,16 @@ import (
 )
 
 // magic identifies scenario files; the byte after it is a format version.
-// Version 2 added the Route Optimization scenario kind.
+// Version 2 added the Route Optimization scenario kind; version 3 added
+// Plot-Track Assignment.
 const (
 	magic   = "C3IPBS\x00"
-	version = 2
+	version = 3
 
 	kindThreat  = "threat-analysis"
 	kindTerrain = "terrain-masking"
 	kindRoute   = "route-optimization"
+	kindPlot    = "plot-track-assignment"
 )
 
 // header is the self-describing prefix of every scenario file.
@@ -184,6 +187,63 @@ func LoadRouteScenario(path string) (*route.Scenario, error) {
 	return &route.Scenario{Name: rf.Name, W: rf.W, H: rf.H, Risk: rf.Risk, Queries: rf.Queries}, nil
 }
 
+// plotFile is the serialized form of a Plot-Track Assignment scenario.
+type plotFile struct {
+	Name   string
+	Field  int32
+	Tracks []plottrack.Track
+	Frames [][]plottrack.Plot
+}
+
+// SavePlotScenario writes a Plot-Track Assignment scenario to path.
+func SavePlotScenario(path string, s *plottrack.Scenario) error {
+	return writeFile(path, kindPlot, plotFile{
+		Name: s.Name, Field: s.Field, Tracks: s.Tracks, Frames: s.Frames,
+	})
+}
+
+// LoadPlotScenario reads a Plot-Track Assignment scenario from path.
+func LoadPlotScenario(path string) (*plottrack.Scenario, error) {
+	var pf plotFile
+	if err := readFile(path, kindPlot, &pf); err != nil {
+		return nil, err
+	}
+	if pf.Field <= 0 {
+		return nil, fmt.Errorf("data: %s: field size %d, want positive", path, pf.Field)
+	}
+	for _, tr := range pf.Tracks {
+		if tr.X < 0 || tr.X >= pf.Field || tr.Y < 0 || tr.Y >= pf.Field {
+			return nil, fmt.Errorf("data: %s: track %d at (%d,%d) outside %d×%d field",
+				path, tr.ID, tr.X, tr.Y, pf.Field, pf.Field)
+		}
+		if tr.Quality < 0 || tr.Quality > plottrack.MaxQuality {
+			return nil, fmt.Errorf("data: %s: track %d quality %d outside 0..%d",
+				path, tr.ID, tr.Quality, plottrack.MaxQuality)
+		}
+	}
+	for f, frame := range pf.Frames {
+		if len(frame) != len(pf.Frames[0]) {
+			return nil, fmt.Errorf("data: %s: frame %d has %d plots, frame 0 has %d — frames must be one size",
+				path, f, len(frame), len(pf.Frames[0]))
+		}
+		for _, p := range frame {
+			if p.X < 0 || p.X >= pf.Field || p.Y < 0 || p.Y >= pf.Field {
+				return nil, fmt.Errorf("data: %s: frame %d plot %d at (%d,%d) outside %d×%d field",
+					path, f, p.ID, p.X, p.Y, pf.Field, pf.Field)
+			}
+		}
+	}
+	return &plottrack.Scenario{Name: pf.Name, Field: pf.Field, Tracks: pf.Tracks, Frames: pf.Frames}, nil
+}
+
+// AssignmentChecksum reduces a Plot-Track Assignment result to a stable
+// checksum over the problem shape and the per-frame minimum assignment
+// costs — the quantities every solver variant provably shares regardless of
+// which equal-cost optimum its bid order lands on.
+func AssignmentChecksum(frameCosts []int64, plots, tracks int) uint64 {
+	return plottrack.Checksum(frameCosts, plots, tracks)
+}
+
 // PathCostChecksum reduces a Route Optimization result to a stable checksum
 // over the per-request path costs in query order. Every solver variant
 // converges to the same shortest distances, so all three produce the same
@@ -245,6 +305,17 @@ var codecs = map[string]Codec{
 			return SaveRouteScenario(path, s)
 		},
 		Load: func(path string) (suite.Scenario, error) { return LoadRouteScenario(path) },
+	},
+	kindPlot: {
+		Kind: kindPlot,
+		Save: func(path string, sc suite.Scenario) error {
+			s, ok := sc.(*plottrack.Scenario)
+			if !ok {
+				return fmt.Errorf("data: %s codec got %T", kindPlot, sc)
+			}
+			return SavePlotScenario(path, s)
+		},
+		Load: func(path string) (suite.Scenario, error) { return LoadPlotScenario(path) },
 	},
 }
 

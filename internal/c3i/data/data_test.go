@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/c3i/plottrack"
 	"repro/internal/c3i/route"
 	"repro/internal/c3i/terrain"
 	"repro/internal/c3i/threat"
@@ -204,19 +205,119 @@ func TestBadMagicRejected(t *testing.T) {
 func TestUnknownKindRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "mystery.c3i")
-	if err := writeFile(path, "plot-track-assignment", []int{1, 2, 3}); err != nil {
+	if err := writeFile(path, "hypothesis-testing", []int{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	for name, load := range map[string]func(string) error{
 		"threat":  func(p string) error { _, err := LoadThreatScenario(p); return err },
 		"terrain": func(p string) error { _, err := LoadTerrainScenario(p); return err },
 		"route":   func(p string) error { _, err := LoadRouteScenario(p); return err },
+		"plot":    func(p string) error { _, err := LoadPlotScenario(p); return err },
 	} {
 		if err := load(path); err == nil {
-			t.Errorf("%s loader accepted a plot-track-assignment file", name)
-		} else if !strings.Contains(err.Error(), "plot-track-assignment") {
+			t.Errorf("%s loader accepted a hypothesis-testing file", name)
+		} else if !strings.Contains(err.Error(), "hypothesis-testing") {
 			t.Errorf("%s loader error %q does not name the found kind", name, err)
 		}
+	}
+}
+
+func TestPlotScenarioRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p1.c3i")
+	s := plottrack.GenScenario("rt", plottrack.GenParams{Field: 256, NumTracks: 12, NumPlots: 14, Frames: 3, Seed: 3})
+	if err := SavePlotScenario(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlotScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Field != s.Field {
+		t.Fatalf("metadata mismatch: %q field %d", got.Name, got.Field)
+	}
+	for i := range s.Tracks {
+		if got.Tracks[i] != s.Tracks[i] {
+			t.Fatalf("track %d differs after round trip", i)
+		}
+	}
+	if len(got.Frames) != len(s.Frames) {
+		t.Fatalf("%d frames after round trip, want %d", len(got.Frames), len(s.Frames))
+	}
+	for f := range s.Frames {
+		for i := range s.Frames[f] {
+			if got.Frames[f][i] != s.Frames[f][i] {
+				t.Fatalf("frame %d plot %d differs after round trip", f, i)
+			}
+		}
+	}
+}
+
+func TestPlotScenarioValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		label string
+		file  plotFile
+		want  string
+	}{
+		{"zero field", plotFile{Name: "x", Field: 0}, "field size"},
+		{"track outside", plotFile{Name: "x", Field: 8,
+			Tracks: []plottrack.Track{{ID: 0, X: 9, Y: 0}}}, "outside"},
+		{"bad quality", plotFile{Name: "x", Field: 8,
+			Tracks: []plottrack.Track{{ID: 0, X: 1, Y: 1, Quality: 99}}}, "quality"},
+		{"plot outside", plotFile{Name: "x", Field: 8,
+			Frames: [][]plottrack.Plot{{{ID: 0, X: -1, Y: 0}}}}, "outside"},
+		{"ragged frames", plotFile{Name: "x", Field: 8,
+			Frames: [][]plottrack.Plot{{{ID: 0, X: 1, Y: 1}}, {}}}, "one size"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.label+".c3i")
+		if err := writeFile(path, "plot-track-assignment", tc.file); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadPlotScenario(path); err == nil {
+			t.Errorf("%s: accepted", tc.label)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.label, err, tc.want)
+		}
+	}
+}
+
+// TestPlotVariantsMatchGoldenChecksum is the suite's correctness test for
+// the Plot-Track Assignment problem: all three solver variants must
+// reproduce the golden assignment-cost checksum recorded from the
+// sequential reference.
+func TestPlotVariantsMatchGoldenChecksum(t *testing.T) {
+	s := plottrack.GenScenario("golden", plottrack.GenParams{Field: 256, NumTracks: 18, NumPlots: 20, Frames: 2, Seed: 5})
+	solve := func(e *machine.Engine, f func(*machine.Thread) *plottrack.Output) *plottrack.Output {
+		var out *plottrack.Output
+		if _, err := e.Run("solve", func(th *machine.Thread) { out = f(th) }); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	sum := func(out *plottrack.Output) uint64 {
+		return AssignmentChecksum(out.FrameCost, len(s.Frames[0]), len(s.Tracks))
+	}
+	ref := solve(smp.New(smp.AlphaStation()), func(th *machine.Thread) *plottrack.Output {
+		return plottrack.Sequential(th, s)
+	})
+	goldens := []Golden{{Scenario: s.Name, Kind: "plot-track-assignment", Checksum: sum(ref)}}
+
+	coarse := solve(smp.New(smp.PentiumProSMP(4)), func(th *machine.Thread) *plottrack.Output {
+		return plottrack.Coarse(th, s, 4)
+	})
+	fine := solve(mta.New(mta.Params{Procs: 1}), func(th *machine.Thread) *plottrack.Output {
+		return plottrack.Fine(th, s, 32)
+	})
+	for name, out := range map[string]*plottrack.Output{"coarse": coarse, "fine": fine} {
+		if err := CheckGolden(goldens, s.Name, "plot-track-assignment", sum(out)); err != nil {
+			t.Errorf("%s variant does not match golden: %v", name, err)
+		}
+	}
+	if err := CheckGolden(goldens, s.Name, "plot-track-assignment",
+		AssignmentChecksum(ref.FrameCost[:1], len(s.Frames[0]), len(s.Tracks))); err == nil {
+		t.Error("truncated frame costs matched the golden checksum")
 	}
 }
 

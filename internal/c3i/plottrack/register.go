@@ -1,0 +1,116 @@
+package plottrack
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/c3i/suite"
+	"repro/internal/machine"
+)
+
+// ScenarioName implements suite.Scenario.
+func (s *Scenario) ScenarioName() string { return s.Name }
+
+// Units implements suite.Scenario: the scaled unit is the plots per frame
+// (the field, the track database and the frame count stay at full size at
+// any scale).
+func (s *Scenario) Units() int { return s.framePlots() }
+
+// Warm implements suite.Scenario; the scenario holds no lazy caches.
+func (s *Scenario) Warm() {}
+
+// Checksum reduces a solver's result to a stable FNV-1a checksum over the
+// quantities every variant provably shares: the problem shape and each
+// frame's minimum assignment cost, in frame order. (The assignment itself
+// may differ between equal-cost optima under nondeterministic bid orders;
+// the optimal cost cannot.)
+func Checksum(frameCosts []int64, plots, tracks int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	put(int64(plots))
+	put(int64(tracks))
+	put(int64(len(frameCosts)))
+	for _, c := range frameCosts {
+		put(c)
+	}
+	return h.Sum64()
+}
+
+// paramsFrom maps registry params onto the shared auction controls.
+func paramsFrom(p suite.Params) Params {
+	return Params{Gate: p["gate"], Epsilon: p["epsilon"], Rounds: p["rounds"]}
+}
+
+func output(out *Output, s *Scenario) suite.Output {
+	return suite.Output{
+		Checksum:      Checksum(out.FrameCost, s.framePlots(), len(s.Tracks)),
+		OverheadBytes: out.BidBufferBytes,
+	}
+}
+
+// auctionDefaults are the tunables every variant shares: the gating-window
+// radius, the auction ε (in scaled cost units; the default guarantees the
+// exact optimum — see DefaultEpsilon) and the convergence-guard round limit
+// (0 = none).
+var auctionDefaults = suite.Params{"gate": DefaultGate, "epsilon": DefaultEpsilon, "rounds": 0}
+
+func init() {
+	suite.MustRegister(&suite.Workload{
+		Name:             "plot-track-assignment",
+		Key:              "pt",
+		FileTag:          "plot",
+		Title:            "Plot-Track Assignment",
+		Order:            4,
+		PaperUnits:       DefaultPlots,
+		UnitName:         "plots/frame",
+		DefaultScale:     0.25,
+		DataScale:        0.1,
+		SmallScale:       0.04,
+		Reference:        "sequential",
+		ValidateVariants: []string{"sequential", "coarse", "fine"},
+		Generate: func(scale float64) []suite.Scenario {
+			return suite.Scenarios(Suite(scale))
+		},
+		Variants: []*suite.Variant{
+			{
+				// The Gauss-Seidel auction: greedy with repair — the
+				// reference.
+				Name: "sequential", Style: suite.Sequential,
+				Defaults: auctionDefaults.Merged(suite.Params{"pipelined": 0}),
+				Run: func(t *machine.Thread, sc suite.Scenario, p suite.Params) suite.Output {
+					c := DefaultCosts
+					if p["pipelined"] != 0 {
+						c = PipelinedCosts()
+					}
+					s := sc.(*Scenario)
+					return output(SequentialWithCosts(t, s, paramsFrom(p), c), s)
+				},
+			},
+			{
+				// The Jacobi auction: a persistent worker crew, private bid
+				// buffers, per-track merge locks, bid/commit rounds.
+				Name: "coarse", Style: suite.Coarse,
+				Defaults: auctionDefaults.Merged(suite.Params{"workers": 4}),
+				Run: func(t *machine.Thread, sc suite.Scenario, p suite.Params) suite.Output {
+					s := sc.(*Scenario)
+					return output(CoarseWithCosts(t, s, p["workers"], paramsFrom(p), DefaultCosts), s)
+				},
+				OverheadFullScale: CoarseBidBytesFullScale,
+			},
+			{
+				// The Tera style: fetch-and-add plot claims, bids committed
+				// through full/empty track-ownership cells.
+				Name: "fine", Style: suite.Fine,
+				Defaults: auctionDefaults.Merged(suite.Params{"threads": 64}),
+				Run: func(t *machine.Thread, sc suite.Scenario, p suite.Params) suite.Output {
+					s := sc.(*Scenario)
+					return output(FineWithCosts(t, s, p["threads"], paramsFrom(p), FineDefaultCosts), s)
+				},
+			},
+		},
+	})
+}

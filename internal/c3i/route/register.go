@@ -47,6 +47,7 @@ func init() {
 		UnitName:         "route requests/scenario",
 		DefaultScale:     0.25,
 		DataScale:        0.25,
+		SmallScale:       0.1,
 		Reference:        "sequential",
 		ValidateVariants: []string{"sequential", "coarse", "fine"},
 		Generate: func(scale float64) []suite.Scenario {

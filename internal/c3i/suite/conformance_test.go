@@ -7,9 +7,12 @@ package suite_test
 // the registry-level restatement of the suite's correctness test.
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
-	_ "repro/internal/c3i/route" // register the three shipped workloads
+	_ "repro/internal/c3i/plottrack" // register the four shipped workloads
+	_ "repro/internal/c3i/route"
 	"repro/internal/c3i/suite"
 	_ "repro/internal/c3i/terrain"
 	_ "repro/internal/c3i/threat"
@@ -17,16 +20,35 @@ import (
 	"repro/internal/platforms"
 )
 
-// shipped lists the repo's registered workloads with the small scales the
-// agreement test solves at (kept tiny: outputs are fully computed).
-var shipped = map[string]float64{
-	"threat-analysis":    0.02,
-	"terrain-masking":    0.05,
-	"route-optimization": 0.1,
+// shipped lists the repo's registered workloads in paper order. The
+// agreement tests solve each at its registered SmallScale — the same
+// registry-derived preset CI's `c3idata -scale-small` uses — so outputs
+// stay cheap to compute fully.
+var shipped = []string{
+	"threat-analysis",
+	"terrain-masking",
+	"route-optimization",
+	"plot-track-assignment",
+}
+
+// smallScale returns a shipped workload's registered smoke-test scale.
+func smallScale(t *testing.T, name string) float64 {
+	t.Helper()
+	w, err := suite.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.SmallScale <= 0 {
+		t.Fatalf("%s: SmallScale %g, want positive", name, w.SmallScale)
+	}
+	return w.SmallScale
 }
 
 func TestShippedWorkloadsConform(t *testing.T) {
-	for name := range shipped {
+	if len(shipped) != 4 {
+		t.Fatalf("%d shipped workloads listed, want 4", len(shipped))
+	}
+	for _, name := range shipped {
 		w, err := suite.Lookup(name)
 		if err != nil {
 			t.Fatalf("Lookup(%s): %v", name, err)
@@ -51,20 +73,20 @@ func TestShippedWorkloadsConform(t *testing.T) {
 		if len(w.ValidateVariants) == 0 {
 			t.Errorf("%s: no validate variants", name)
 		}
-		if w.Key == "" || w.FileTag == "" || w.PaperUnits <= 0 || w.DefaultScale <= 0 || w.DataScale <= 0 {
+		if w.Key == "" || w.FileTag == "" || w.PaperUnits <= 0 ||
+			w.DefaultScale <= 0 || w.DataScale <= 0 || w.SmallScale <= 0 {
 			t.Errorf("%s: incomplete metadata: %+v", name, w)
 		}
 	}
-	// All() must list the shipped workloads in paper order (other test
-	// binaries may have registered extra workloads; only relative order of
-	// the shipped three matters).
+	// All() must list the shipped workloads in paper order (this test
+	// binary registers extra mechanics-test workloads; only relative order
+	// of the shipped four matters).
 	pos := map[string]int{}
 	for i, w := range suite.All() {
 		pos[w.Name] = i
 	}
-	order := []string{"threat-analysis", "terrain-masking", "route-optimization"}
-	for i := 1; i < len(order); i++ {
-		a, b := order[i-1], order[i]
+	for i := 1; i < len(shipped); i++ {
+		a, b := shipped[i-1], shipped[i]
 		if _, ok := pos[a]; !ok {
 			t.Fatalf("All() missing %s", a)
 		}
@@ -92,14 +114,14 @@ func solveRef(t *testing.T, v *suite.Variant, sc suite.Scenario) suite.Output {
 }
 
 func TestVariantChecksumsAgree(t *testing.T) {
-	for name, scale := range shipped {
-		name, scale := name, scale
+	for _, name := range shipped {
+		name := name
 		t.Run(name, func(t *testing.T) {
 			w, err := suite.Lookup(name)
 			if err != nil {
 				t.Fatal(err)
 			}
-			scs := w.Generate(scale)
+			scs := w.Generate(smallScale(t, name))
 			if len(scs) == 0 {
 				t.Fatal("Generate returned no scenarios")
 			}
@@ -128,12 +150,12 @@ func TestVariantChecksumsAgree(t *testing.T) {
 func TestVariantDefaultsAreComplete(t *testing.T) {
 	// Exec must hand Run a fully-populated param set: running every shipped
 	// variant with nil params must not panic (zero workers/chunks would).
-	for name, scale := range shipped {
+	for _, name := range shipped {
 		w, err := suite.Lookup(name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		scs := w.Generate(scale)
+		scs := w.Generate(smallScale(t, name))
 		sc := scs[0]
 		sc.Warm()
 		alpha, err := platforms.Get("alpha")
@@ -146,6 +168,53 @@ func TestVariantDefaultsAreComplete(t *testing.T) {
 			}); err != nil {
 				t.Errorf("%s/%s with default params: %v", name, v.Name, err)
 			}
+		}
+	}
+}
+
+// TestPlotTrackParamErrors exercises the registry-level error paths of the
+// newest workload: every variant must reject an invalid gating window,
+// auction epsilon, or convergence guard with a diagnostic panic rather than
+// silently computing a wrong (checksum-breaking) assignment.
+func TestPlotTrackParamErrors(t *testing.T) {
+	w, err := suite.Lookup("plot-track-assignment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := w.Generate(smallScale(t, w.Name))
+	sc := scs[0]
+	sc.Warm()
+	alpha, err := platforms.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		label string
+		p     suite.Params
+		want  string
+	}{
+		{"zero gate", suite.Params{"gate": 0}, "gate"},
+		{"negative gate", suite.Params{"gate": -3}, "gate"},
+		{"zero epsilon", suite.Params{"epsilon": 0}, "epsilon"},
+		{"negative rounds", suite.Params{"rounds": -1}, "rounds"},
+	}
+	for _, v := range w.Variants {
+		for _, tc := range bad {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Errorf("%s/%s: no panic", v.Name, tc.label)
+						return
+					}
+					if msg := fmt.Sprint(r); !strings.Contains(msg, tc.want) {
+						t.Errorf("%s/%s: panic %q does not mention %q", v.Name, tc.label, msg, tc.want)
+					}
+				}()
+				alpha.New(1).Run("bad-params", func(th *machine.Thread) {
+					v.Exec(th, sc, tc.p)
+				})
+			}()
 		}
 	}
 }

@@ -162,6 +162,12 @@ type Workload struct {
 	DefaultScale float64
 	// DataScale is cmd/c3idata's default generation scale.
 	DataScale float64
+	// SmallScale is the workload's smoke-test scale: large enough that all
+	// variants exercise their parallel structure, small enough for per-PR
+	// validation. CI (`c3idata -scale-small`) and the registry conformance
+	// tests derive their sizes from it, so new workloads are covered with
+	// no pipeline edits.
+	SmallScale float64
 	// Reference names the variant whose validated output defines the
 	// golden checksum (conventionally "sequential").
 	Reference string
@@ -259,8 +265,8 @@ func check(w *Workload) error {
 		return fmt.Errorf("suite: workload %q needs Name, Key, FileTag and Title", w.Name)
 	case w.PaperUnits <= 0:
 		return fmt.Errorf("suite: workload %s needs a positive PaperUnits", w.Name)
-	case w.DefaultScale <= 0 || w.DataScale <= 0:
-		return fmt.Errorf("suite: workload %s needs positive DefaultScale and DataScale", w.Name)
+	case w.DefaultScale <= 0 || w.DataScale <= 0 || w.SmallScale <= 0:
+		return fmt.Errorf("suite: workload %s needs positive DefaultScale, DataScale and SmallScale", w.Name)
 	case w.Generate == nil:
 		return fmt.Errorf("suite: workload %s needs a Generate hook", w.Name)
 	case len(w.Variants) == 0:

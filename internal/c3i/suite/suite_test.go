@@ -14,7 +14,7 @@ func testWorkload(name, key string) *Workload {
 	return &Workload{
 		Name: name, Key: key, FileTag: name, Title: name,
 		PaperUnits: 10, UnitName: "units/scenario",
-		DefaultScale: 1, DataScale: 1,
+		DefaultScale: 1, DataScale: 1, SmallScale: 1,
 		Reference:        "sequential",
 		ValidateVariants: []string{"sequential"},
 		Generate:         func(scale float64) []Scenario { return nil },
@@ -38,6 +38,7 @@ func TestRegisterRejectsIncompleteDescriptors(t *testing.T) {
 		{"zero paper units", func(w *Workload) { w.PaperUnits = 0 }, "positive PaperUnits"},
 		{"zero default scale", func(w *Workload) { w.DefaultScale = 0 }, "positive DefaultScale"},
 		{"zero data scale", func(w *Workload) { w.DataScale = 0 }, "positive DefaultScale"},
+		{"zero small scale", func(w *Workload) { w.SmallScale = 0 }, "SmallScale"},
 		{"nil generate", func(w *Workload) { w.Generate = nil }, "Generate hook"},
 		{"no variants", func(w *Workload) { w.Variants = nil }, "no variants"},
 		{"unnamed variant", func(w *Workload) {

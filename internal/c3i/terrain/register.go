@@ -70,6 +70,7 @@ func init() {
 		UnitName:         "threat sites/scenario",
 		DefaultScale:     0.5,
 		DataScale:        0.1,
+		SmallScale:       0.05,
 		Reference:        "sequential",
 		ValidateVariants: []string{"sequential"},
 		Generate: func(scale float64) []suite.Scenario {

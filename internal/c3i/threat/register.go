@@ -80,6 +80,7 @@ func init() {
 		UnitName:         "threats/scenario",
 		DefaultScale:     0.25,
 		DataScale:        0.1,
+		SmallScale:       0.02,
 		Reference:        "sequential",
 		ValidateVariants: []string{"sequential"},
 		Generate: func(scale float64) []suite.Scenario {

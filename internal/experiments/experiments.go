@@ -19,7 +19,8 @@ import (
 	"sync"
 	"time"
 
-	_ "repro/internal/c3i/route" // register the Route Optimization workload
+	_ "repro/internal/c3i/plottrack" // register the Plot-Track Assignment workload
+	_ "repro/internal/c3i/route"     // register the Route Optimization workload
 	"repro/internal/c3i/suite"
 	_ "repro/internal/c3i/terrain" // register the Terrain Masking workload
 	_ "repro/internal/c3i/threat"  // register the Threat Analysis workload
@@ -33,6 +34,7 @@ const (
 	TA = "threat-analysis"
 	TM = "terrain-masking"
 	RO = "route-optimization"
+	PT = "plot-track-assignment"
 )
 
 // Config controls workload sizes for one experiment run.
@@ -105,6 +107,10 @@ func All() []Experiment {
 		{"ro-sequential", "Sequential Route Optimization without parallelization (suite extension)", runRouteSeq},
 		{"ro-streams", "Route Optimization scaling with threads: MTA vs cached SMPs (+ figure)", runRouteStreams},
 		{"ro-variants", "Route Optimization parallelization styles across platforms", runRouteVariants},
+		{"pt-sequential", "Sequential Plot-Track Assignment without parallelization (suite extension)", runPlotSeq},
+		{"pt-streams", "Plot-Track Assignment scaling with threads: MTA vs cached SMPs (+ figure)", runPlotStreams},
+		{"pt-variants", "Plot-Track Assignment parallelization styles across platforms", runPlotVariants},
+		{"pt-pipelined", "Plot-Track Assignment exposed-latency ablation (dependent price loads vs perfect lookahead)", runPlotPipelined},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // programs through machine models), so they are the repository's
 // end-to-end checks.
 
-var testCfg = Config{Scales: map[string]float64{TA: 0.1, TM: 0.1, RO: 0.05}}
+var testCfg = Config{Scales: map[string]float64{TA: 0.1, TM: 0.1, RO: 0.05, PT: 0.1}}
 
 func TestSequentialTAOrdering(t *testing.T) {
 	// Paper Table 2: Alpha < Exemplar < Pentium Pro ≪ Tera.
@@ -436,6 +437,103 @@ func TestRouteFineGrainedImpracticalOnSMP(t *testing.T) {
 	}
 }
 
+func TestPlotSequentialOrdering(t *testing.T) {
+	// The suite's synchronization-heavy workload: the bid loop's price
+	// chasing is dependent-load bound, so the cache-less MTA pays a
+	// dramatic sequential penalty, like the other workloads.
+	alpha, err := ptSeq(testCfg, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tera, err := ptSeq(testCfg, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tera / alpha; r < 6 || r > 30 {
+		t.Errorf("tera/alpha = %.1f, want 6-30 (price chasing exposes full latency)", r)
+	}
+}
+
+func TestPlotMTAScalesWhileSMPsSaturate(t *testing.T) {
+	// The acceptance shape for the fourth workload: the MTA's asynchronous
+	// auction keeps scaling with streams, while the cached SMPs saturate at
+	// their processor counts and lock traffic, then degrade.
+	fine1, _, err := ptFine(testCfg, "tera", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine128, _, err := ptFine(testCfg, "tera", 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtaSpeedup := fine1 / fine128
+	if mtaSpeedup < 8 {
+		t.Errorf("MTA fine-grained speedup at 128 threads = %.1f, want ≥ 8", mtaSpeedup)
+	}
+
+	ex1, _, err := ptCoarse(testCfg, "exemplar", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exBest, _, err := ptCoarse(testCfg, "exemplar", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex128, _, err := ptCoarse(testCfg, "exemplar", 16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exBest >= ex1 {
+		t.Errorf("Exemplar coarse did not speed up at all: %.1f s at 4 workers vs %.1f s at 1", exBest, ex1)
+	}
+	if s := ex1 / exBest; s >= mtaSpeedup {
+		t.Errorf("Exemplar speedup %.1f not below MTA's %.1f — the SMP should saturate first", s, mtaSpeedup)
+	}
+	if ex128 < exBest {
+		t.Errorf("Exemplar kept scaling past saturation: %.1f s at 128 workers vs %.1f s at 4", ex128, exBest)
+	}
+}
+
+func TestPlotFineGrainedImpracticalOnSMP(t *testing.T) {
+	// The Tera style (a crowd of bid threads per frame, full/empty commits)
+	// must be far worse than the coarse crew on a conventional SMP.
+	coarse, _, err := ptCoarse(testCfg, "exemplar", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, _, err := ptFine(testCfg, "exemplar", 16, ptFineCompare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine < coarse*1.5 {
+		t.Errorf("fine (%.1f) vs coarse (%.1f) on Exemplar: want ≥ 1.5x worse", fine, coarse)
+	}
+}
+
+func TestPlotPipelinedAblationShape(t *testing.T) {
+	// The perfect-lookahead re-pricing must help the lone MTA stream but
+	// not erase the gap: latency hiding needs threads, not lookahead.
+	res, err := runPlotPipelined(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Tables[0].Rows[0]
+	dep, pipe := row[1], row[2]
+	var d, p float64
+	if _, err := fmt.Sscanf(dep, "%f", &d); err != nil {
+		t.Fatalf("calibrated cell %q: %v", dep, err)
+	}
+	if _, err := fmt.Sscanf(pipe, "%f", &p); err != nil {
+		t.Fatalf("pipelined cell %q: %v", pipe, err)
+	}
+	if !(p < d) {
+		t.Errorf("pipelined %.2f not below calibrated %.2f", p, d)
+	}
+	if p < d*0.3 {
+		t.Errorf("pipelined %.2f vs %.2f: lookahead should not erase most of the time", p, d)
+	}
+}
+
 // render flattens an experiment result to one comparable string.
 func render(res *Result) string {
 	if res == nil {
@@ -515,7 +613,7 @@ func TestRunManyConcurrentSweep(t *testing.T) {
 
 func TestDefaultConfigCoversRegistry(t *testing.T) {
 	cfg := DefaultConfig()
-	for _, name := range []string{TA, TM, RO} {
+	for _, name := range []string{TA, TM, RO, PT} {
 		if cfg.Scales[name] <= 0 {
 			t.Errorf("DefaultConfig missing scale for %s", name)
 		}
