@@ -11,18 +11,20 @@
 // the Tera row of a sequential table, or the maximum-processor-count row of
 // a speedup table), so shape regressions show up in benchmark output
 // directly. BenchmarkWorkloadVariants times each registered workload variant
-// over its suite on the AlphaStation model — new workloads get benchmarked
-// by registering, with no edits here.
+// over its suite on the AlphaStation model, executed through the
+// internal/run API (Runner.Execute bypasses the record cache so every
+// iteration measures a real engine run) — new workloads get benchmarked by
+// registering, with no edits here.
 package repro
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
 	"repro/internal/c3i/suite"
 	"repro/internal/experiments"
-	"repro/internal/machine"
-	"repro/internal/platforms"
+	"repro/internal/run"
 )
 
 // benchCfg keeps benchmark runs quick; shapes are unaffected (times are
@@ -74,48 +76,38 @@ func BenchmarkExperiments(b *testing.B) {
 }
 
 // BenchmarkWorkloadVariants runs every registered workload variant (default
-// params) over its scenario suite on the AlphaStation model. The metric
-// "model-s" is the run's simulated seconds normalized to paper scale.
+// params) over its scenario suite on the AlphaStation model through
+// run.Runner. The metric "model-s" is the run's simulated seconds normalized
+// to paper scale (the Record's PaperSeconds).
 func BenchmarkWorkloadVariants(b *testing.B) {
+	ctx := context.Background()
+	runner := run.NewRunner(1)
 	for _, w := range suite.All() {
-		// Generation and warming live inside the per-workload group, so
+		// Suite generation and warming live inside the per-workload group
+		// (Runner.Warm memoizes them outside the timed sub-benchmarks), so
 		// -bench filters skip the setup of unselected workloads.
 		b.Run(w.Key, func(b *testing.B) {
-			scs := w.Generate(benchVariantScale)
-			for _, sc := range scs {
-				sc.Warm()
+			if _, err := runner.Warm(w.Name, benchVariantScale); err != nil {
+				b.Fatal(err)
 			}
-			norm := w.Norm(scs)
 			for _, v := range w.Variants {
+				spec := run.Spec{
+					Workload: w.Name, Variant: v.Name,
+					Platform: "alpha", Procs: 1,
+					Scale: benchVariantScale,
+				}
 				b.Run(v.Name, func(b *testing.B) {
 					var modelSec float64
 					for i := 0; i < b.N; i++ {
-						spec, err := benchAlpha()
+						rec, err := runner.Execute(ctx, spec)
 						if err != nil {
 							b.Fatal(err)
 						}
-						res, err := spec.Run(w.Key+"/"+v.Name, func(t *machine.Thread) {
-							for _, sc := range scs {
-								v.Exec(t, sc, nil)
-							}
-						})
-						if err != nil {
-							b.Fatal(err)
-						}
-						modelSec = res.Seconds * norm
+						modelSec = rec.PaperSeconds
 					}
 					b.ReportMetric(modelSec, "model-s")
 				})
 			}
 		})
 	}
-}
-
-// benchAlpha builds a fresh AlphaStation engine.
-func benchAlpha() (*machine.Engine, error) {
-	spec, err := platforms.Get("alpha")
-	if err != nil {
-		return nil, err
-	}
-	return spec.New(1), nil
 }

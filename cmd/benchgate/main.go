@@ -1,11 +1,16 @@
 // Command benchgate is the benchmark-regression CI gate: it converts
-// `go test -bench` output into a committed JSON artifact (benchmark name →
-// ns/op) and compares two artifacts with a generous ratio threshold, so
-// only large slowdowns fail a PR while runner noise and registry growth
-// pass through.
+// benchmark measurements into a committed JSON artifact and compares two
+// artifacts with per-family ratio thresholds. The "benchmarks" family
+// (ns/op from `go test -bench` output) gets a generous gate — shared
+// runners are noisy and the baseline may come from different hardware —
+// while the "model_s" family (simulated seconds from `c3ibench -json` run
+// records) is deterministic for a given tree, so it gates model-shape
+// regressions with a tight threshold even when host time is flat.
 //
 //	go test -bench . -benchtime 1x -run '^$' . | benchgate -parse -out BENCH_pr.json
-//	benchgate -baseline BENCH_baseline.json -current BENCH_pr.json -max-ratio 2
+//	c3ibench -run table2,table5 -json > records.json
+//	benchgate -parse -in bench.txt -records records.json -out BENCH_pr.json
+//	benchgate -baseline BENCH_baseline.json -current BENCH_pr.json -max-ratio 2 -max-model-ratio 1.5
 package main
 
 import (
@@ -20,14 +25,24 @@ import (
 
 func main() {
 	var (
-		parse    = flag.Bool("parse", false, "read `go test -bench` output and write a JSON artifact")
-		in       = flag.String("in", "-", "bench output to parse (- = stdin)")
-		out      = flag.String("out", "BENCH_pr.json", "artifact path to write with -parse")
-		baseline = flag.String("baseline", "", "baseline artifact to compare against")
-		current  = flag.String("current", "", "current artifact to compare")
-		maxRatio = flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this")
+		parse         = flag.Bool("parse", false, "read `go test -bench` output and write a JSON artifact")
+		in            = flag.String("in", "-", "bench output to parse (- = stdin)")
+		records       = flag.String("records", "", "c3ibench -json records file; adds the model_s family to the artifact")
+		out           = flag.String("out", "BENCH_pr.json", "artifact path to write with -parse")
+		baseline      = flag.String("baseline", "", "baseline artifact to compare against")
+		current       = flag.String("current", "", "current artifact to compare")
+		maxRatio      = flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this")
+		maxModelRatio = flag.Float64("max-model-ratio", 1.5, "fail when current/baseline model_s exceeds this")
 	)
 	flag.Parse()
+
+	if *records != "" && !*parse {
+		// -records feeds artifact *construction*; in compare mode both
+		// families come from the artifacts themselves. Silently ignoring it
+		// would skip the model_s gate the caller asked for.
+		fmt.Fprintln(os.Stderr, "benchgate: -records is only meaningful with -parse (compare mode reads model_s from the artifacts)")
+		os.Exit(2)
+	}
 
 	switch {
 	case *parse:
@@ -44,10 +59,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *records != "" {
+			f, err := os.Open(*records)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.ModelS, err = benchgate.ParseRecords(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
 		if err := rep.WriteFile(*out); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+		fmt.Printf("benchgate: wrote %s (%d benchmarks, %d model_s entries)\n",
+			*out, len(rep.Benchmarks), len(rep.ModelS))
 	case *baseline != "" && *current != "":
 		base, err := benchgate.ReadFile(*baseline)
 		if err != nil {
@@ -57,7 +84,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cmp, err := benchgate.Compare(base, cur, *maxRatio)
+		cmp, err := benchgate.Compare(base, cur, *maxRatio, *maxModelRatio)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +92,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "benchgate: use -parse [-in bench.txt] -out X.json, or -baseline X.json -current Y.json")
+		fmt.Fprintln(os.Stderr, "benchgate: use -parse [-in bench.txt] [-records records.json] -out X.json, or -baseline X.json -current Y.json")
 		os.Exit(2)
 	}
 }

@@ -2,7 +2,10 @@
 // reproduction's ablations and suite extensions) from the machine models and
 // benchmark programs. Workloads, their variants and their scale flags come
 // from the internal/c3i/suite registry, so a newly registered workload shows
-// up here with no command changes.
+// up here with no command changes. Every model cell is executed through the
+// internal/run API; -json emits the raw run records instead of rendered
+// tables, and each emitted record's Spec re-executes to the identical
+// ModelSeconds and Checksum.
 //
 // Usage:
 //
@@ -12,16 +15,19 @@
 //	c3ibench -all                  # everything, in paper order
 //	c3ibench -all -jobs 4          # same results, computed by 4 parallel workers
 //	c3ibench -all -md              # markdown output (for EXPERIMENTS.md)
+//	c3ibench -run table5 -json     # machine-readable run records (CI artifact)
 //	c3ibench -scale-ta 0.5 ...     # bigger Threat Analysis workload
 //	c3ibench -scale-ro 1 ...       # full Route Optimization workload
 //
 // Results always print in the requested order, whatever -jobs is. The exit
 // status is non-zero if any requested experiment ID is unknown or any
 // experiment fails; the remaining experiments still run, so one broken table
-// does not hide the rest of an -all sweep.
+// does not hide the rest of an -all sweep. Invalid flag values (a
+// non-positive -jobs or -scale-*) are usage errors: exit 2, naming the flag.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,16 +35,18 @@ import (
 
 	"repro/internal/c3i/suite"
 	"repro/internal/experiments"
+	"repro/internal/run"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list registered workloads, variants and experiment IDs, then exit")
-		run  = flag.String("run", "", "comma-separated experiment IDs to run")
-		all  = flag.Bool("all", false, "run every experiment in paper order")
-		jobs = flag.Int("jobs", 1, "number of parallel experiment workers (results still print in order)")
-		md   = flag.Bool("md", false, "emit Markdown instead of ASCII tables")
-		text = flag.Bool("text", true, "include free-text output (compiler feedback)")
+		list    = flag.Bool("list", false, "list registered workloads, variants and experiment IDs, then exit")
+		runIDs  = flag.String("run", "", "comma-separated experiment IDs to run")
+		all     = flag.Bool("all", false, "run every experiment in paper order")
+		jobs    = flag.Int("jobs", 1, "number of parallel experiment workers (results still print in order)")
+		md      = flag.Bool("md", false, "emit Markdown instead of ASCII tables")
+		jsonOut = flag.Bool("json", false, "emit the raw run records as JSON instead of rendered tables/figures")
+		text    = flag.Bool("text", true, "include free-text output (compiler feedback)")
 	)
 	// One scale flag per registered workload: -scale-ta, -scale-tm, ...
 	scales := map[string]*float64{}
@@ -47,6 +55,20 @@ func main() {
 			fmt.Sprintf("%s workload scale (1 = the paper-scale %d %s)", w.Title, w.PaperUnits, w.UnitName))
 	}
 	flag.Parse()
+
+	// Reject invalid values outright instead of silently serializing or
+	// falling back to registry defaults: a mistyped sweep should not emit
+	// tables (or CI artifacts) at a scale the caller did not ask for.
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "c3ibench: -jobs %d: must be at least 1\n", *jobs)
+		os.Exit(2)
+	}
+	for _, w := range suite.All() {
+		if s := *scales[w.Name]; s <= 0 {
+			fmt.Fprintf(os.Stderr, "c3ibench: -scale-%s %g: must be positive\n", w.Key, s)
+			os.Exit(2)
+		}
+	}
 
 	if *list {
 		printList()
@@ -57,8 +79,8 @@ func main() {
 	switch {
 	case *all:
 		ids = experiments.IDs()
-	case *run != "":
-		ids = strings.Split(*run, ",")
+	case *runIDs != "":
+		ids = strings.Split(*runIDs, ",")
 	default:
 		fmt.Fprintln(os.Stderr, "c3ibench: nothing to do; use -list, -run <ids> or -all")
 		os.Exit(2)
@@ -71,29 +93,55 @@ func main() {
 
 	// Outcomes stream in request order as they (and their predecessors)
 	// finish, so serial runs report incrementally and -jobs runs print
-	// identically.
+	// identically. In -json mode the records are collected and emitted as
+	// one document once the sweep completes.
 	failures := 0
+	var recorded []run.ExperimentRecords
 	experiments.RunEach(ids, cfg, *jobs, func(oc experiments.Outcome) {
 		if oc.Err != nil {
 			fmt.Fprintf(os.Stderr, "c3ibench: %s: %v\n", oc.Experiment.ID, oc.Err)
 			failures++
 			return
 		}
-		for _, tb := range oc.Result.Tables {
-			if *md {
-				fmt.Println(tb.Markdown())
-			} else {
-				fmt.Println(tb.Render())
+		if *jsonOut {
+			recorded = append(recorded, run.ExperimentRecords{
+				Experiment: oc.Experiment.ID,
+				Title:      oc.Experiment.Title,
+				ElapsedS:   oc.Elapsed.Seconds(),
+				Records:    oc.Result.Records,
+			})
+		} else {
+			for _, tb := range oc.Result.Tables {
+				if *md {
+					fmt.Println(tb.Markdown())
+				} else {
+					fmt.Println(tb.Render())
+				}
 			}
-		}
-		for _, fig := range oc.Result.Figures {
-			fmt.Println(fig.Render(56, 16))
-		}
-		if *text && oc.Result.Text != "" {
-			fmt.Println(oc.Result.Text)
+			for _, fig := range oc.Result.Figures {
+				fmt.Println(fig.Render(56, 16))
+			}
+			if *text && oc.Result.Text != "" {
+				fmt.Println(oc.Result.Text)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", oc.Experiment.ID, oc.Elapsed.Seconds())
 	})
+	if *jsonOut {
+		// Emit whatever completed even when some experiments failed — the
+		// same partial-failure contract as the rendered-table mode, with
+		// the exit status still reporting the failures. An all-failed
+		// sweep emits an empty array, which stays valid JSON downstream.
+		if recorded == nil {
+			recorded = []run.ExperimentRecords{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recorded); err != nil {
+			fmt.Fprintf(os.Stderr, "c3ibench: encoding records: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "c3ibench: %d of %d requested experiments failed\n", failures, len(ids))
 		os.Exit(1)

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,8 +29,7 @@ import (
 
 	"repro/internal/c3i/data"
 	"repro/internal/c3i/suite"
-	"repro/internal/machine"
-	"repro/internal/platforms"
+	"repro/internal/run"
 )
 
 func main() {
@@ -66,19 +66,22 @@ func main() {
 	}
 }
 
+// runner executes every validation run; RunScenario keeps engine
+// construction inside the internal/run API while solving the exact
+// scenarios loaded from (or about to be written to) disk.
+var runner = run.NewRunner(0)
+
 // solve runs one registered variant over a scenario on the reference machine
 // (the Alpha model; outputs are machine-independent) in validate mode and
 // returns the checksummed output.
-func solve(v *suite.Variant, sc suite.Scenario) (suite.Output, error) {
-	alpha, err := platforms.Get("alpha")
+func solve(w *suite.Workload, v *suite.Variant, sc suite.Scenario) (suite.Output, error) {
+	rec, err := runner.RunScenario(context.Background(), run.Spec{
+		Workload: w.Name, Variant: v.Name, Platform: "alpha", Procs: 1, Validate: true,
+	}, sc)
 	if err != nil {
 		return suite.Output{}, err
 	}
-	var out suite.Output
-	_, err = alpha.New(1).Run("ref", func(t *machine.Thread) {
-		out = v.Exec(t, sc, suite.Params{suite.ValidateParam: 1})
-	})
-	return out, err
+	return suite.Output{Checksum: uint64(rec.Checksum), OverheadBytes: rec.OverheadBytes}, nil
 }
 
 // scenarioPath names a workload's i-th scenario file (1-based).
@@ -102,7 +105,7 @@ func generate(dir string, scales map[string]*float64) error {
 			if err := codec.Save(path, sc); err != nil {
 				return err
 			}
-			out, err := solve(ref, sc)
+			out, err := solve(w, ref, sc)
 			if err != nil {
 				return err
 			}
@@ -143,7 +146,7 @@ func validate(dir string) error {
 			}
 			// Every registered validate variant must reproduce the golden.
 			for _, name := range w.ValidateVariants {
-				out, err := solve(w.MustVariant(name), sc)
+				out, err := solve(w, w.MustVariant(name), sc)
 				if err != nil {
 					return err
 				}

@@ -1,13 +1,21 @@
-// Package benchgate turns `go test -bench` output into a committed JSON
-// artifact (benchmark name → ns/op) and compares two such artifacts with a
-// regression threshold — the repository's benchmark-regression CI gate.
+// Package benchgate turns benchmark measurements into a committed JSON
+// artifact and compares two such artifacts with regression thresholds — the
+// repository's benchmark-regression CI gate. An artifact carries two metric
+// families:
 //
-// The gate is deliberately generous: CI runners are shared, noisy machines
-// and the committed baseline may have been recorded on different hardware,
-// so only large ratios (the default gate is 2×) are treated as regressions.
-// Benchmarks present in only one artifact are reported but never fail the
-// gate — registry growth adds benchmarks on every workload, and that must
-// not require baseline surgery to land.
+//   - "benchmarks": benchmark name → ns/op, parsed from `go test -bench`
+//     output. Host time on shared, noisy runners, so the gate is
+//     deliberately generous (default 2×) and the committed baseline may come
+//     from different hardware.
+//   - "model_s": run key → simulated seconds, taken from the run records
+//     `c3ibench -json` emits. Simulated time is deterministic for a given
+//     source tree, so this family gates model-*shape* regressions with a
+//     much tighter threshold: if a change makes the modeled machines
+//     slower, it fails here even when host ns/op is flat.
+//
+// Entries present in only one artifact are reported but never fail the gate
+// — registry growth adds benchmarks and records on every workload, and that
+// must not require baseline surgery to land.
 package benchgate
 
 import (
@@ -19,13 +27,23 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+
+	"repro/internal/run"
 )
 
-// Report is the committed artifact: benchmark name → ns/op. Names are
-// normalized (the -GOMAXPROCS suffix stripped), so artifacts recorded on
-// machines with different core counts stay comparable.
+// Metric family names, used in verdicts and Missing/Added prefixes.
+const (
+	MetricNsOp   = "ns/op"
+	MetricModelS = "model_s"
+)
+
+// Report is the committed artifact. Benchmark names are normalized (the
+// -GOMAXPROCS suffix stripped), so artifacts recorded on machines with
+// different core counts stay comparable; model_s keys are run.Spec keys,
+// which are machine-independent by construction.
 type Report struct {
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	ModelS     map[string]float64 `json:"model_s,omitempty"`
 }
 
 // benchLine matches one result line of `go test -bench` output:
@@ -64,6 +82,30 @@ func Parse(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
+// ParseRecords reads `c3ibench -json` output and returns the model_s family:
+// each record's canonical key mapped to its paper-scale simulated seconds.
+// Records repeated across experiments (shared cells) carry identical values,
+// so duplicates are harmless.
+func ParseRecords(r io.Reader) (map[string]float64, error) {
+	var experiments []run.ExperimentRecords
+	if err := json.NewDecoder(r).Decode(&experiments); err != nil {
+		return nil, fmt.Errorf("benchgate: decoding run records: %w", err)
+	}
+	ms := map[string]float64{}
+	for _, ex := range experiments {
+		for _, rec := range ex.Records {
+			if rec.Key == "" {
+				return nil, fmt.Errorf("benchgate: record without a key in experiment %s", ex.Experiment)
+			}
+			ms[rec.Key] = rec.PaperSeconds
+		}
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("benchgate: no run records found in input")
+	}
+	return ms, nil
+}
+
 // WriteFile writes the report as stable (sorted-key, indented) JSON.
 func (r *Report) WriteFile(path string) error {
 	buf, err := json.MarshalIndent(r, "", "  ") // map keys marshal sorted
@@ -83,63 +125,75 @@ func ReadFile(path string) (*Report, error) {
 	if err := json.Unmarshal(buf, &r); err != nil {
 		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
 	}
-	if len(r.Benchmarks) == 0 {
-		return nil, fmt.Errorf("benchgate: %s holds no benchmarks", path)
+	if len(r.Benchmarks) == 0 && len(r.ModelS) == 0 {
+		return nil, fmt.Errorf("benchgate: %s holds no benchmarks or model_s entries", path)
 	}
 	return &r, nil
 }
 
-// Regression is one benchmark that slowed beyond the gate's threshold.
+// Regression is one entry that slowed beyond its family's threshold.
 type Regression struct {
 	Name      string
-	BaseNsOp  float64
-	CurNsOp   float64
+	Metric    string // MetricNsOp or MetricModelS
+	Base      float64
+	Cur       float64
 	Ratio     float64
 	Threshold float64
 }
 
 // Comparison is the gate's verdict over two reports.
 type Comparison struct {
-	Regressions []Regression // current/base > threshold, sorted worst first
+	Regressions []Regression // over-threshold entries, sorted worst first
 	Missing     []string     // in base, absent from current (renamed/removed)
-	Added       []string     // in current, absent from base (new benchmarks)
-	Compared    int          // benchmarks present in both
+	Added       []string     // in current, absent from base (new entries)
+	Compared    int          // entries present in both, across families
 }
 
-// Compare evaluates current against base with a ratio threshold (> 1).
-func Compare(base, current *Report, threshold float64) (*Comparison, error) {
-	if threshold <= 1 {
-		return nil, fmt.Errorf("benchgate: threshold %g, need > 1", threshold)
+// Compare evaluates current against base. Each family has its own ratio
+// threshold (> 1): nsThreshold for host ns/op, modelThreshold for simulated
+// model_s seconds.
+func Compare(base, current *Report, nsThreshold, modelThreshold float64) (*Comparison, error) {
+	if nsThreshold <= 1 || modelThreshold <= 1 {
+		return nil, fmt.Errorf("benchgate: thresholds %g/%g, need > 1", nsThreshold, modelThreshold)
 	}
 	c := &Comparison{}
-	for name, b := range base.Benchmarks {
-		cur, ok := current.Benchmarks[name]
-		if !ok {
-			c.Missing = append(c.Missing, name)
-			continue
-		}
-		c.Compared++
-		if b > 0 && cur/b > threshold {
-			c.Regressions = append(c.Regressions, Regression{
-				Name: name, BaseNsOp: b, CurNsOp: cur, Ratio: cur / b, Threshold: threshold,
-			})
-		}
-	}
-	for name := range current.Benchmarks {
-		if _, ok := base.Benchmarks[name]; !ok {
-			c.Added = append(c.Added, name)
-		}
-	}
+	c.compareFamily(MetricNsOp, base.Benchmarks, current.Benchmarks, nsThreshold)
+	c.compareFamily(MetricModelS, base.ModelS, current.ModelS, modelThreshold)
 	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Ratio > c.Regressions[j].Ratio })
 	sort.Strings(c.Missing)
 	sort.Strings(c.Added)
 	return c, nil
 }
 
+// compareFamily gates one metric family; names in Missing/Added are
+// prefixed with the family for unambiguous reporting.
+func (c *Comparison) compareFamily(metric string, base, current map[string]float64, threshold float64) {
+	prefix := metric + ": "
+	for name, b := range base {
+		cur, ok := current[name]
+		if !ok {
+			c.Missing = append(c.Missing, prefix+name)
+			continue
+		}
+		c.Compared++
+		if b > 0 && cur/b > threshold {
+			c.Regressions = append(c.Regressions, Regression{
+				Name: name, Metric: metric,
+				Base: b, Cur: cur, Ratio: cur / b, Threshold: threshold,
+			})
+		}
+	}
+	for name := range current {
+		if _, ok := base[name]; !ok {
+			c.Added = append(c.Added, prefix+name)
+		}
+	}
+}
+
 // Render writes the human-readable verdict to w and reports whether the
 // gate passes.
 func (c *Comparison) Render(w io.Writer) bool {
-	fmt.Fprintf(w, "benchgate: %d benchmarks compared, %d added, %d missing\n",
+	fmt.Fprintf(w, "benchgate: %d entries compared, %d added, %d missing\n",
 		c.Compared, len(c.Added), len(c.Missing))
 	for _, name := range c.Added {
 		fmt.Fprintf(w, "  new:      %s (not in baseline — informational)\n", name)
@@ -148,11 +202,11 @@ func (c *Comparison) Render(w io.Writer) bool {
 		fmt.Fprintf(w, "  missing:  %s (in baseline only — informational)\n", name)
 	}
 	for _, r := range c.Regressions {
-		fmt.Fprintf(w, "  REGRESSED %s: %.0f → %.0f ns/op (%.2fx > %.2fx gate)\n",
-			r.Name, r.BaseNsOp, r.CurNsOp, r.Ratio, r.Threshold)
+		fmt.Fprintf(w, "  REGRESSED %s: %g → %g %s (%.2fx > %.2fx gate)\n",
+			r.Name, r.Base, r.Cur, r.Metric, r.Ratio, r.Threshold)
 	}
 	if len(c.Regressions) == 0 {
-		fmt.Fprintln(w, "benchgate: no regressions beyond the gate")
+		fmt.Fprintln(w, "benchgate: no regressions beyond the gates")
 		return true
 	}
 	return false

@@ -18,6 +18,38 @@ PASS
 ok  	repro	12.345s
 `
 
+// sampleRecords is a `c3ibench -json` document with two run records (the
+// shape the bench CI job pipes into -records).
+const sampleRecords = `[
+  {
+    "experiment": "table5",
+    "title": "Multithreaded Threat Analysis on dual-processor Tera MTA",
+    "elapsed_s": 1.5,
+    "records": [
+      {
+        "spec": {"workload": "threat-analysis", "variant": "coarse", "platform": "tera", "procs": 1,
+                 "scale": 0.25, "params": {"chunks": 256, "pipelined": 0}},
+        "key": "threat-analysis|coarse|tera|p1|s0.25|chunks=256,pipelined=0",
+        "model_seconds": 20.5, "paper_seconds": 82.1, "checksum": "0000000000000000",
+        "overhead_bytes": 0, "stats": {"cycles": 1, "ops": 1, "mem_refs": 0, "cache_hits": 0,
+        "cache_misses": 0, "sync_ops": 0, "atomic_ops": 0, "lock_ops": 0, "barrier_ops": 0,
+        "spawns": 1, "max_live": 1, "proc_util": [0.9], "mem_util": 0.1},
+        "host_elapsed_ns": 1000000
+      },
+      {
+        "spec": {"workload": "threat-analysis", "variant": "coarse", "platform": "tera", "procs": 2,
+                 "scale": 0.25, "params": {"chunks": 256, "pipelined": 0}},
+        "key": "threat-analysis|coarse|tera|p2|s0.25|chunks=256,pipelined=0",
+        "model_seconds": 11.5, "paper_seconds": 46.2, "checksum": "0000000000000000",
+        "overhead_bytes": 0, "stats": {"cycles": 1, "ops": 1, "mem_refs": 0, "cache_hits": 0,
+        "cache_misses": 0, "sync_ops": 0, "atomic_ops": 0, "lock_ops": 0, "barrier_ops": 0,
+        "spawns": 1, "max_live": 1, "proc_util": [0.85, 0.84], "mem_util": 0.1},
+        "host_elapsed_ns": 900000
+      }
+    ]
+  }
+]`
+
 func TestParseNormalizesNames(t *testing.T) {
 	rep, err := Parse(strings.NewReader(sampleOutput))
 	if err != nil {
@@ -61,8 +93,40 @@ BenchmarkX/a-8 1 200 ns/op
 	}
 }
 
+func TestParseRecords(t *testing.T) {
+	ms, err := ParseRecords(strings.NewReader(sampleRecords))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"threat-analysis|coarse|tera|p1|s0.25|chunks=256,pipelined=0": 82.1,
+		"threat-analysis|coarse|tera|p2|s0.25|chunks=256,pipelined=0": 46.2,
+	}
+	if len(ms) != len(want) {
+		t.Fatalf("parsed %d model_s entries, want %d: %v", len(ms), len(want), ms)
+	}
+	for key, v := range want {
+		if ms[key] != v {
+			t.Errorf("%s = %g, want %g", key, ms[key], v)
+		}
+	}
+}
+
+func TestParseRecordsRejectsGarbage(t *testing.T) {
+	if _, err := ParseRecords(strings.NewReader("[]")); err == nil {
+		t.Error("empty records accepted")
+	}
+	if _, err := ParseRecords(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed records accepted")
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.ModelS, err = ParseRecords(strings.NewReader(sampleRecords))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,12 +138,18 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Benchmarks) != len(rep.Benchmarks) {
-		t.Fatalf("round trip lost benchmarks: %d vs %d", len(got.Benchmarks), len(rep.Benchmarks))
+	if len(got.Benchmarks) != len(rep.Benchmarks) || len(got.ModelS) != len(rep.ModelS) {
+		t.Fatalf("round trip lost entries: %d/%d benchmarks, %d/%d model_s",
+			len(got.Benchmarks), len(rep.Benchmarks), len(got.ModelS), len(rep.ModelS))
 	}
 	for name, ns := range rep.Benchmarks {
 		if got.Benchmarks[name] != ns {
 			t.Errorf("%s = %g after round trip, want %g", name, got.Benchmarks[name], ns)
+		}
+	}
+	for key, s := range rep.ModelS {
+		if got.ModelS[key] != s {
+			t.Errorf("%s = %g after round trip, want %g", key, got.ModelS[key], s)
 		}
 	}
 }
@@ -94,7 +164,7 @@ func TestCompareGates(t *testing.T) {
 		"c":   40,  // improvement
 		"new": 1,   // added
 	}}
-	c, err := Compare(base, cur, 2.0)
+	c, err := Compare(base, cur, 2.0, 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,10 +177,10 @@ func TestCompareGates(t *testing.T) {
 	if r := c.Regressions[0].Ratio; r < 2.49 || r > 2.51 {
 		t.Errorf("ratio = %g, want 2.5", r)
 	}
-	if len(c.Missing) != 1 || c.Missing[0] != "gone" {
+	if len(c.Missing) != 1 || c.Missing[0] != "ns/op: gone" {
 		t.Errorf("Missing = %v", c.Missing)
 	}
-	if len(c.Added) != 1 || c.Added[0] != "new" {
+	if len(c.Added) != 1 || c.Added[0] != "ns/op: new" {
 		t.Errorf("Added = %v", c.Added)
 	}
 	var sb strings.Builder
@@ -121,7 +191,7 @@ func TestCompareGates(t *testing.T) {
 		t.Errorf("verdict %q does not name the regression", sb.String())
 	}
 
-	ok, err := Compare(base, base, 2.0)
+	ok, err := Compare(base, base, 2.0, 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,9 +206,79 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
+func TestCompareGatesModelS(t *testing.T) {
+	// The acceptance scenario for the second family: simulated seconds
+	// regress 3× while host ns/op is flat. ns/op alone would pass; the
+	// model_s family must fail the gate.
+	key := "threat-analysis|coarse|tera|p1|s0.25|chunks=256,pipelined=0"
+	base := &Report{
+		Benchmarks: map[string]float64{"BenchmarkExperiments/table5": 1e9},
+		ModelS:     map[string]float64{key: 82.0},
+	}
+	cur := &Report{
+		Benchmarks: map[string]float64{"BenchmarkExperiments/table5": 1e9}, // flat host time
+		ModelS:     map[string]float64{key: 246.0},                         // 3× simulated time
+	}
+	c, err := Compare(base, cur, 2.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Compared != 2 {
+		t.Errorf("Compared = %d, want 2 (one per family)", c.Compared)
+	}
+	if len(c.Regressions) != 1 {
+		t.Fatalf("Regressions = %+v, want exactly the model_s entry", c.Regressions)
+	}
+	r := c.Regressions[0]
+	if r.Metric != MetricModelS || r.Name != key {
+		t.Errorf("regression = %+v, want model_s on %s", r, key)
+	}
+	if r.Ratio < 2.9 || r.Ratio > 3.1 {
+		t.Errorf("ratio = %g, want ≈ 3", r.Ratio)
+	}
+	var sb strings.Builder
+	if c.Render(&sb) {
+		t.Error("gate passed a 3× model_s regression")
+	}
+	if !strings.Contains(sb.String(), "model_s") {
+		t.Errorf("verdict %q does not name the model_s family", sb.String())
+	}
+
+	// The same comparison with model_s improving must pass.
+	cur.ModelS[key] = 60.0
+	ok, err := Compare(base, cur, 2.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if !ok.Render(&sb) {
+		t.Error("model_s improvement failed the gate")
+	}
+}
+
+func TestCompareModelSFamiliesIndependent(t *testing.T) {
+	// A model_s-only baseline against a benchmarks-only current: nothing
+	// overlaps, nothing regresses, everything is informational.
+	base := &Report{ModelS: map[string]float64{"k": 1}}
+	cur := &Report{Benchmarks: map[string]float64{"b": 1}}
+	c, err := Compare(base, cur, 2.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Compared != 0 || len(c.Regressions) != 0 {
+		t.Errorf("disjoint families compared: %+v", c)
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "model_s: k" {
+		t.Errorf("Missing = %v", c.Missing)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "ns/op: b" {
+		t.Errorf("Added = %v", c.Added)
+	}
+}
+
 func c2(t *testing.T, base, cur *Report) *Comparison {
 	t.Helper()
-	c, err := Compare(base, cur, 2.0)
+	c, err := Compare(base, cur, 2.0, 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +287,10 @@ func c2(t *testing.T, base, cur *Report) *Comparison {
 
 func TestCompareRejectsBadThreshold(t *testing.T) {
 	r := &Report{Benchmarks: map[string]float64{"a": 1}}
-	if _, err := Compare(r, r, 1.0); err == nil {
-		t.Error("threshold 1.0 accepted")
+	if _, err := Compare(r, r, 1.0, 1.5); err == nil {
+		t.Error("ns/op threshold 1.0 accepted")
+	}
+	if _, err := Compare(r, r, 2.0, 1.0); err == nil {
+		t.Error("model threshold 1.0 accepted")
 	}
 }

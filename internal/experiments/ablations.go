@@ -4,23 +4,22 @@ import (
 	"fmt"
 
 	"repro/internal/c3i/suite"
-	"repro/internal/machine"
-	"repro/internal/mta"
 	"repro/internal/report"
+	"repro/internal/run"
 )
 
 // runAblationStreams demonstrates the paper's §7 claim that the MTA needs
 // on the order of 80–100 concurrent threads to approach full utilization of
 // even one processor: Threat Analysis on one MTA processor as the chunk
 // (= thread) count grows, with measured issue utilization.
-func runAblationStreams(cfg Config) (*Result, error) {
+func runAblationStreams(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "ablation-streams",
 		Title:   "Threat Analysis on one Tera MTA processor vs thread count",
 		Columns: []string{"Chunks (threads)", "Model (s)", "Issue utilization"},
 		Notes: []string{
 			"paper §7: \"80 concurrent threads are typically required to obtain full utilization of a single Tera MTA processor\"",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(TA)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(TA)),
 		},
 	}
 	fig := &report.Figure{
@@ -30,45 +29,42 @@ func runAblationStreams(cfg Config) (*Result, error) {
 	var series report.Series
 	series.Label, series.Marker = "issue utilization", '*'
 	for _, chunks := range []int{1, 2, 4, 8, 16, 21, 32, 64, 96, 128} {
-		sec, res, err := taChunked(cfg, "tera", 1, chunks)
+		sec, rec, err := taChunked(x, "tera", 1, chunks)
 		if err != nil {
 			return nil, err
 		}
-		tb.AddRow(chunks, sec, fmt.Sprintf("%.1f%%", res.Stats.ProcUtil[0]*100))
+		tb.AddRow(chunks, sec, fmt.Sprintf("%.1f%%", rec.Stats.ProcUtil[0]*100))
 		series.X = append(series.X, float64(chunks))
-		series.Y = append(series.Y, res.Stats.ProcUtil[0]*100)
+		series.Y = append(series.Y, rec.Stats.ProcUtil[0]*100)
 	}
 	fig.Series = []report.Series{series}
 	return &Result{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}, nil
 }
-
-// mta1 builds a default single-processor MTA engine.
-func mta1() *machine.Engine { return mta.New(mta.Params{Procs: 1}) }
 
 // runAblationLatency isolates the role of exposed memory latency (the
 // cache-less MTA's dependent loads) in sequential performance: the same
 // kernels re-priced with all references fully pipelined (perfect lookahead,
 // the sequential variants' "pipelined" parameter) versus the calibrated
 // dependence mix.
-func runAblationLatency(cfg Config) (*Result, error) {
-	run := func(pipelined int) (float64, float64, error) {
+func runAblationLatency(x *Exec) (*Result, error) {
+	both := func(pipelined int) (float64, float64, error) {
 		p := suite.Params{"pipelined": pipelined}
-		taSec, _, err := runVariantOn(cfg, TA, "sequential", "abl-lat-mta1", mta1, p)
+		taSec, err := x.Seconds(x.Spec(TA, "sequential", "tera", 1, p))
 		if err != nil {
 			return 0, 0, err
 		}
-		tmSec, _, err := runVariantOn(cfg, TM, "sequential", "abl-lat-mta1", mta1, p)
+		tmSec, err := x.Seconds(x.Spec(TM, "sequential", "tera", 1, p))
 		if err != nil {
 			return 0, 0, err
 		}
 		return taSec, tmSec, nil
 	}
 
-	taDep, tmDep, err := run(0)
+	taDep, tmDep, err := both(0)
 	if err != nil {
 		return nil, err
 	}
-	taPipe, tmPipe, err := run(1)
+	taPipe, tmPipe, err := both(1)
 	if err != nil {
 		return nil, err
 	}
@@ -88,16 +84,17 @@ func runAblationLatency(cfg Config) (*Result, error) {
 
 // runAblationNetwork sweeps the "development status of the current Tera MTA
 // network" factors the paper blames for the 1.4–1.8 two-processor speedups:
-// remote-latency multiplier and aggregate bandwidth efficiency.
-func runAblationNetwork(cfg Config) (*Result, error) {
+// remote-latency multiplier and aggregate bandwidth efficiency, expressed as
+// Spec network overrides on the two-processor MTA.
+func runAblationNetwork(x *Exec) (*Result, error) {
 	taParams := suite.Params{"chunks": 256}
 	tmParams := suite.Params{"sectors": tmSectors, "merge": tmMergeChunks}
 
-	base1TA, _, err := runVariantOn(cfg, TA, "coarse", "abl-net-mta1", mta1, taParams)
+	base1TA, err := x.Seconds(x.Spec(TA, "coarse", "tera", 1, taParams))
 	if err != nil {
 		return nil, err
 	}
-	base1TM, _, err := runVariantOn(cfg, TM, "fine", "abl-net-mta1", mta1, tmParams)
+	base1TM, err := x.Seconds(x.Spec(TM, "fine", "tera", 1, tmParams))
 	if err != nil {
 		return nil, err
 	}
@@ -113,15 +110,16 @@ func runAblationNetwork(cfg Config) (*Result, error) {
 	for _, net := range []struct{ lat, bw float64 }{
 		{1.0, 1.0}, {1.4, 0.8}, {1.8, 0.62}, {2.5, 0.45},
 	} {
-		p := mta.DefaultParams(2)
-		p.NetLatencyMult, p.NetBandwidthEff = net.lat, net.bw
-		engKey := fmt.Sprintf("abl-net-mta2|lat%g|bw%g", net.lat, net.bw)
-		newEngine := func() *machine.Engine { return mta.New(p) }
-		taSec, _, err := runVariantOn(cfg, TA, "coarse", engKey, newEngine, taParams)
+		netSpec := func(workload, variant string, params suite.Params) run.Spec {
+			spec := x.Spec(workload, variant, "tera", 2, params)
+			spec.NetLatencyMult, spec.NetBandwidthEff = net.lat, net.bw
+			return spec
+		}
+		taSec, err := x.Seconds(netSpec(TA, "coarse", taParams))
 		if err != nil {
 			return nil, err
 		}
-		tmSec, _, err := runVariantOn(cfg, TM, "fine", engKey, newEngine, tmParams)
+		tmSec, err := x.Seconds(netSpec(TM, "fine", tmParams))
 		if err != nil {
 			return nil, err
 		}
@@ -135,15 +133,15 @@ func runAblationNetwork(cfg Config) (*Result, error) {
 // runAblationBlocking sweeps the coarse-grained Terrain Masking blocking
 // factor on the 16-processor Exemplar: one big lock serializes the merge
 // phase; the paper's ten-by-ten blocking is already in the flat region.
-func runAblationBlocking(cfg Config) (*Result, error) {
+func runAblationBlocking(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "ablation-blocking",
 		Title:   "Coarse-grained Terrain Masking on 16-processor Exemplar vs lock blocking factor",
 		Columns: []string{"Blocks per side", "Locks", "Model (s)"},
-		Notes:   []string{fmt.Sprintf("16 workers; scale %g normalized; the paper ran ten-by-ten", cfg.Scale(TM))},
+		Notes:   []string{fmt.Sprintf("16 workers; scale %g normalized; the paper ran ten-by-ten", x.Cfg.Scale(TM))},
 	}
 	for _, blocks := range []int{1, 2, 4, 10, 20, 40} {
-		sec, _, err := tmCoarse(cfg, "exemplar", 16, 16, blocks)
+		sec, _, err := tmCoarse(x, "exemplar", 16, 16, blocks)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +154,7 @@ func runAblationBlocking(cfg Config) (*Result, error) {
 // styles (hundreds of threads, per-element synchronization) are practical on
 // the MTA and unreasonable on conventional machines, where coarse chunking
 // is the right tool.
-func runAblationFineGrainSMP(cfg Config) (*Result, error) {
+func runAblationFineGrainSMP(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "ablation-finegrain-smp",
 		Title:   "Fine-grained vs coarse-grained styles across architectures",
@@ -168,36 +166,36 @@ func runAblationFineGrainSMP(cfg Config) (*Result, error) {
 	}
 
 	// Threat Analysis.
-	coarseEx, _, err := taChunked(cfg, "exemplar", 16, 16)
+	coarseEx, _, err := taChunked(x, "exemplar", 16, 16)
 	if err != nil {
 		return nil, err
 	}
-	fineEx, err := taFine(cfg, "exemplar", 16)
+	fineEx, err := taFine(x, "exemplar", 16)
 	if err != nil {
 		return nil, err
 	}
 	tb.AddRow("Threat Analysis", "Exemplar (16 proc)", coarseEx, fineEx, fmt.Sprintf("%.2f", fineEx/coarseEx))
-	coarseT, _, err := taChunked(cfg, "tera", 1, 256)
+	coarseT, _, err := taChunked(x, "tera", 1, 256)
 	if err != nil {
 		return nil, err
 	}
-	fineT, err := taFine(cfg, "tera", 1)
+	fineT, err := taFine(x, "tera", 1)
 	if err != nil {
 		return nil, err
 	}
 	tb.AddRow("Threat Analysis", "Tera MTA (1 proc)", coarseT, fineT, fmt.Sprintf("%.2f", fineT/coarseT))
 
 	// Terrain Masking.
-	coarseTMEx, _, err := tmCoarse(cfg, "exemplar", 16, 16, tmBlocks)
+	coarseTMEx, _, err := tmCoarse(x, "exemplar", 16, 16, tmBlocks)
 	if err != nil {
 		return nil, err
 	}
-	fineTMEx, err := tmFine(cfg, "exemplar", 16)
+	fineTMEx, err := tmFine(x, "exemplar", 16)
 	if err != nil {
 		return nil, err
 	}
 	tb.AddRow("Terrain Masking", "Exemplar (16 proc)", coarseTMEx, fineTMEx, fmt.Sprintf("%.2f", fineTMEx/coarseTMEx))
-	fineTMT, err := tmFine(cfg, "tera", 1)
+	fineTMT, err := tmFine(x, "tera", 1)
 	if err != nil {
 		return nil, err
 	}

@@ -3,17 +3,22 @@
 // out. Each experiment runs the real benchmark programs through the machine
 // models and reports the model's numbers side by side with the paper's.
 //
-// Workloads and their program variants are resolved exclusively through the
-// internal/c3i/suite registry: experiments never call a workload's solver
-// functions directly, so a new workload registered with the suite is
-// immediately runnable here. Workloads run at a configurable scale (fraction
-// of the paper's unit counts); reported model times are normalized back to
-// scale 1, so they are directly comparable with the paper columns.
-// Comparisons are about shape — who wins, by what factor, where the curves
-// bend — not absolute seconds; EXPERIMENTS.md records both for every table.
+// Experiments are consumers of the internal/run execution API: each table,
+// ablation and projection declares run.Specs (resolved through the
+// internal/c3i/suite registry — experiments never call a workload's solver
+// functions or construct machine engines directly), executes them through
+// the shared run.Runner, and formats the resulting run.Records. The raw
+// records ride along in Result.Records, so every cell of every table is
+// individually addressable, serializable and reproducible from its Spec.
+// Workloads run at a configurable scale (fraction of the paper's unit
+// counts); reported model times are normalized back to scale 1, so they are
+// directly comparable with the paper columns. Comparisons are about shape —
+// who wins, by what factor, where the curves bend — not absolute seconds;
+// EXPERIMENTS.md records both for every table.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -24,9 +29,8 @@ import (
 	"repro/internal/c3i/suite"
 	_ "repro/internal/c3i/terrain" // register the Terrain Masking workload
 	_ "repro/internal/c3i/threat"  // register the Threat Analysis workload
-	"repro/internal/machine"
-	"repro/internal/platforms"
 	"repro/internal/report"
+	"repro/internal/run"
 )
 
 // Registered workload names, as used in Config.Scales and the run helpers.
@@ -68,18 +72,88 @@ func (c Config) Scale(workload string) float64 {
 	return 1
 }
 
-// Result is an experiment's rendered output.
+// Result is an experiment's output: the rendered tables and figures, plus
+// the raw execution records behind every model cell.
 type Result struct {
 	Tables  []*report.Table
 	Figures []*report.Figure
 	Text    string
+	// Records are the run.Records this experiment executed (cache hits
+	// included), in execution order — the machine-readable counterpart of
+	// the tables, and the payload of `c3ibench -json`.
+	Records []run.Record
+}
+
+// Exec is the context an experiment body runs in: the scale configuration,
+// the cancellation context, and the shared Runner every Spec goes through.
+// It collects each executed Record for the experiment's Result.
+type Exec struct {
+	Cfg    Config
+	ctx    context.Context
+	runner *run.Runner
+
+	mu      sync.Mutex
+	records []run.Record
+}
+
+// Spec builds the canonical run.Spec for a registered workload variant on a
+// paper platform at the Exec's configured scale.
+func (x *Exec) Spec(workload, variant, platform string, procs int, params suite.Params) run.Spec {
+	return run.Spec{
+		Workload: workload,
+		Variant:  variant,
+		Platform: platform,
+		Procs:    procs,
+		Scale:    x.Cfg.Scale(workload),
+		Params:   params,
+	}
+}
+
+// Run executes a Spec through the shared Runner and collects its Record.
+func (x *Exec) Run(spec run.Spec) (run.Record, error) {
+	rec, err := x.runner.Run(x.ctx, spec)
+	if err != nil {
+		return rec, err
+	}
+	x.mu.Lock()
+	x.records = append(x.records, rec)
+	x.mu.Unlock()
+	return rec, nil
+}
+
+// Seconds is Run reduced to the paper-scale-normalized seconds most table
+// cells need.
+func (x *Exec) Seconds(spec run.Spec) (float64, error) {
+	rec, err := x.Run(spec)
+	return rec.PaperSeconds, err
 }
 
 // Experiment is one reproducible unit: a paper table/figure or an ablation.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) (*Result, error)
+	body  func(x *Exec) (*Result, error)
+}
+
+// Run executes the experiment at the given scales through the package's
+// shared Runner.
+func (e Experiment) Run(cfg Config) (*Result, error) {
+	return e.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: Specs not yet started when ctx is
+// cancelled fail with the context error.
+func (e Experiment) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if e.body == nil {
+		return nil, fmt.Errorf("experiments: experiment %q has no body", e.ID)
+	}
+	x := &Exec{Cfg: cfg, ctx: ctx, runner: sharedRunner}
+	res, err := e.body(x)
+	if err != nil {
+		return nil, err
+	}
+	res.Records = x.records
+	return res, nil
 }
 
 // All returns every experiment in paper order.
@@ -144,7 +218,7 @@ type Outcome struct {
 // RunMany runs the experiments with the given IDs through a pool of jobs
 // workers (jobs ≤ 1 means serial) and returns outcomes in the requested
 // order regardless of completion order, so parallel sweeps report exactly
-// like serial ones. The caches below are shared and single-flight, so cells
+// like serial ones. The shared Runner's caches are single-flight, so cells
 // reused across experiments (e.g. the summary tables) are computed once even
 // when the experiments needing them run concurrently. Unknown IDs yield an
 // Outcome with Err set; the remaining experiments still run.
@@ -209,148 +283,9 @@ func runExperiment(id string, cfg Config) Outcome {
 	return Outcome{Experiment: e, Result: res, Err: err, Elapsed: time.Since(start)}
 }
 
-// --- Workload and result caches --------------------------------------------
-
-// onceMap memoizes expensive computations by key and collapses concurrent
-// calls for the same key into one execution (RunMany workers share workload
-// suites and experiment cells). reset advances a generation so computations
-// started before a reset cannot repopulate the post-reset maps.
-type onceMap[T any] struct {
-	mu       sync.Mutex
-	gen      int
-	done     map[string]T
-	inflight map[string]*onceCall[T]
-}
-
-type onceCall[T any] struct {
-	ready chan struct{}
-	val   T
-	err   error
-}
-
-// initLocked lazily allocates the maps; callers hold mu.
-func (m *onceMap[T]) initLocked() {
-	if m.done == nil {
-		m.done = map[string]T{}
-	}
-	if m.inflight == nil {
-		m.inflight = map[string]*onceCall[T]{}
-	}
-}
-
-func (m *onceMap[T]) do(key string, fn func() (T, error)) (T, error) {
-	m.mu.Lock()
-	m.initLocked()
-	if v, ok := m.done[key]; ok {
-		m.mu.Unlock()
-		return v, nil
-	}
-	if c, ok := m.inflight[key]; ok {
-		m.mu.Unlock()
-		<-c.ready
-		return c.val, c.err
-	}
-	c := &onceCall[T]{ready: make(chan struct{})}
-	m.inflight[key] = c
-	gen := m.gen
-	m.mu.Unlock()
-
-	c.val, c.err = fn()
-	m.mu.Lock()
-	// A reset during the computation dropped this call from inflight and
-	// invalidated its result; only same-generation results are memoized.
-	if m.gen == gen {
-		if c.err == nil {
-			m.done[key] = c.val
-		}
-		delete(m.inflight, key)
-	}
-	m.mu.Unlock()
-	close(c.ready)
-	return c.val, c.err
-}
-
-func (m *onceMap[T]) reset() {
-	m.mu.Lock()
-	m.gen++
-	m.done = map[string]T{}
-	m.inflight = map[string]*onceCall[T]{}
-	m.mu.Unlock()
-}
-
-var (
-	suiteCache onceMap[[]suite.Scenario]
-	runCache   onceMap[machine.Result]
-)
-
-// suiteFor returns the memoized scenario suite for a workload at a scale,
-// warmed so concurrent solver runs only read the shared scenarios.
-func suiteFor(workload string, scale float64) ([]suite.Scenario, error) {
-	return suiteCache.do(fmt.Sprintf("%s|s%g", workload, scale), func() ([]suite.Scenario, error) {
-		w, err := suite.Lookup(workload)
-		if err != nil {
-			return nil, err
-		}
-		scs := w.Generate(scale)
-		for _, sc := range scs {
-			sc.Warm()
-		}
-		return scs, nil
-	})
-}
-
-// runOnce executes run on a fresh engine built by newEngine and memoizes the
-// result under key (experiments share cells, e.g. the summary tables).
-func runOnce(key string, newEngine func() *machine.Engine, run func(t *machine.Thread)) (machine.Result, error) {
-	return runCache.do(key, func() (machine.Result, error) {
-		e := newEngine()
-		res, err := e.Run(key, run)
-		if err != nil {
-			return machine.Result{}, fmt.Errorf("%s: %w", key, err)
-		}
-		return res, nil
-	})
-}
-
-// runVariant runs one registered workload variant over the memoized suite on
-// a paper platform, returning paper-scale-normalized seconds plus the raw
-// machine result (for utilization inspection).
-func runVariant(cfg Config, workload, variant, platform string, procs int, params suite.Params) (float64, machine.Result, error) {
-	spec, err := platforms.Get(platform)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	return runVariantOn(cfg, workload, variant,
-		fmt.Sprintf("%s|p%d", platform, procs),
-		func() *machine.Engine { return spec.New(procs) }, params)
-}
-
-// runVariantOn is runVariant with an explicit engine constructor — the
-// ablations and projections build custom machine configurations. engineKey
-// must identify the engine configuration for memoization.
-func runVariantOn(cfg Config, workload, variant, engineKey string, newEngine func() *machine.Engine, params suite.Params) (float64, machine.Result, error) {
-	w, err := suite.Lookup(workload)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	v, err := w.Variant(variant)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	scale := cfg.Scale(workload)
-	scs, err := suiteFor(workload, scale)
-	if err != nil {
-		return 0, machine.Result{}, err
-	}
-	p := params.Merged(v.Defaults)
-	key := fmt.Sprintf("%s|%s|%s|%s|s%g", w.Key, variant, engineKey, p, scale)
-	res, err := runOnce(key, newEngine, func(t *machine.Thread) {
-		for _, sc := range scs {
-			v.Run(t, sc, p)
-		}
-	})
-	return res.Seconds * w.Norm(scs), res, err
-}
+// sharedRunner executes every experiment Spec; its suite and Record caches
+// are what make concurrent RunMany sweeps compute shared cells once.
+var sharedRunner = run.NewRunner(0)
 
 // paperUnits returns a workload's registered paper-scale unit count. The
 // workload names here are compile-time constants, so a failed lookup is a
@@ -382,9 +317,9 @@ func coarseOverheadFullScaleGB(workload string, workers int) float64 {
 	return float64(v.OverheadFullScale(workers)) / float64(1<<30)
 }
 
-// ResetCaches drops all memoized workloads and results (tests and the
-// per-iteration benchmark harness use this to control memory).
+// ResetCaches drops the shared Runner's memoized workloads and results
+// (tests and the per-iteration benchmark harness use this to control memory
+// and measurement).
 func ResetCaches() {
-	suiteCache.reset()
-	runCache.reset()
+	sharedRunner.Reset()
 }

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/run"
 )
 
 // Integration tests: every qualitative finding of the paper must hold in the
@@ -13,21 +17,26 @@ import (
 
 var testCfg = Config{Scales: map[string]float64{TA: 0.1, TM: 0.1, RO: 0.05, PT: 0.1}}
 
+// testX is the Exec the helper-level tests run their Specs through; it
+// shares the package Runner, so cells overlap with the experiment-level
+// tests exactly as production consumers overlap.
+var testX = &Exec{Cfg: testCfg, ctx: context.Background(), runner: sharedRunner}
+
 func TestSequentialTAOrdering(t *testing.T) {
 	// Paper Table 2: Alpha < Exemplar < Pentium Pro ≪ Tera.
-	alpha, err := taSeq(testCfg, "alpha", 1)
+	alpha, err := taSeq(testX, "alpha", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ppro, err := taSeq(testCfg, "ppro", 4)
+	ppro, err := taSeq(testX, "ppro", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exem, err := taSeq(testCfg, "exemplar", 16)
+	exem, err := taSeq(testX, "exemplar", 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tera, err := taSeq(testCfg, "tera", 1)
+	tera, err := taSeq(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +50,11 @@ func TestSequentialTAOrdering(t *testing.T) {
 
 func TestTAExemplarScalesNearLinearly(t *testing.T) {
 	// Paper Table 4: 15.4-fold speedup on 16 processors.
-	seq, err := taSeq(testCfg, "exemplar", 16)
+	seq, err := taSeq(testX, "exemplar", 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := taChunked(testCfg, "exemplar", 16, 16)
+	par, _, err := taChunked(testX, "exemplar", 16, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +68,7 @@ func TestTATeraChunkSweepShape(t *testing.T) {
 	var prev float64
 	times := map[int]float64{}
 	for _, chunks := range []int{8, 16, 32, 64, 128, 256} {
-		sec, _, err := taChunked(testCfg, "tera", 2, chunks)
+		sec, _, err := taChunked(testX, "tera", 2, chunks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,11 +89,11 @@ func TestTATeraChunkSweepShape(t *testing.T) {
 func TestTATeraMultithreadedVsSequential(t *testing.T) {
 	// Paper: "The multithreaded program runs dramatically faster (32 times
 	// faster on one processor) than the sequential program on the Tera MTA."
-	seq, err := taSeq(testCfg, "tera", 1)
+	seq, err := taSeq(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := taChunked(testCfg, "tera", 1, 256)
+	par, _, err := taChunked(testX, "tera", 1, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +104,11 @@ func TestTATeraMultithreadedVsSequential(t *testing.T) {
 
 func TestTATeraTwoProcSpeedup(t *testing.T) {
 	// Paper Table 5: 1.8 on two processors.
-	one, _, err := taChunked(testCfg, "tera", 1, 256)
+	one, _, err := taChunked(testX, "tera", 1, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, _, err := taChunked(testCfg, "tera", 2, 256)
+	two, _, err := taChunked(testX, "tera", 2, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +119,11 @@ func TestTATeraTwoProcSpeedup(t *testing.T) {
 
 func TestSequentialTMOrderingAndRatios(t *testing.T) {
 	// Paper Table 8: Alpha < PPro < Exemplar ≪ Tera; Tera ≈ 6x Alpha.
-	alpha, err := tmSeq(testCfg, "alpha", 1)
+	alpha, err := tmSeq(testX, "alpha", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tera, err := tmSeq(testCfg, "tera", 1)
+	tera, err := tmSeq(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +132,11 @@ func TestSequentialTMOrderingAndRatios(t *testing.T) {
 	}
 	// The key contrast with TA: the Tera penalty is much smaller for the
 	// memory-bound program.
-	taAlpha, err := taSeq(testCfg, "alpha", 1)
+	taAlpha, err := taSeq(testX, "alpha", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	taTera, err := taSeq(testCfg, "tera", 1)
+	taTera, err := taSeq(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,11 +147,11 @@ func TestSequentialTMOrderingAndRatios(t *testing.T) {
 
 func TestTMPentiumProSaturates(t *testing.T) {
 	// Paper Table 9: three-fold speedup on four processors (memory-bound).
-	seq, err := tmSeq(testCfg, "ppro", 4)
+	seq, err := tmSeq(testX, "ppro", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := tmCoarse(testCfg, "ppro", 4, 4, tmBlocks)
+	par, _, err := tmCoarse(testX, "ppro", 4, 4, tmBlocks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +162,11 @@ func TestTMPentiumProSaturates(t *testing.T) {
 
 func TestTMExemplarPlateaus(t *testing.T) {
 	// Paper Table 10: speedup plateaus around 6-7 well below 16.
-	seq, err := tmSeq(testCfg, "exemplar", 16)
+	seq, err := tmSeq(testX, "exemplar", 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par16, _, err := tmCoarse(testCfg, "exemplar", 16, 16, tmBlocks)
+	par16, _, err := tmCoarse(testX, "exemplar", 16, 16, tmBlocks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,15 +177,15 @@ func TestTMExemplarPlateaus(t *testing.T) {
 
 func TestTMTeraFine(t *testing.T) {
 	// Paper Table 11 + §6: ~20x over Tera sequential; 1.4 on two processors.
-	seq, err := tmSeq(testCfg, "tera", 1)
+	seq, err := tmSeq(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := tmFine(testCfg, "tera", 1)
+	one, err := tmFine(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := tmFine(testCfg, "tera", 2)
+	two, err := tmFine(testX, "tera", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,22 +200,22 @@ func TestTMTeraFine(t *testing.T) {
 func TestTeraBeatsAlphaWhenMultithreaded(t *testing.T) {
 	// Paper §7: one MTA processor multithreaded is 2-3.5x faster than the
 	// Alpha for these codes.
-	taAlpha, err := taSeq(testCfg, "alpha", 1)
+	taAlpha, err := taSeq(testX, "alpha", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	taTera, _, err := taChunked(testCfg, "tera", 1, 256)
+	taTera, _, err := taChunked(testX, "tera", 1, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r := taAlpha / taTera; r < 1.5 || r > 4 {
 		t.Errorf("TA: alpha/tera-1proc = %.2f, want ≈ 2.3", r)
 	}
-	tmAlpha, err := tmSeq(testCfg, "alpha", 1)
+	tmAlpha, err := tmSeq(testX, "alpha", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tmTera, err := tmFine(testCfg, "tera", 1)
+	tmTera, err := tmFine(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,11 +227,11 @@ func TestTeraBeatsAlphaWhenMultithreaded(t *testing.T) {
 func TestTeraOneProcEquivalentToFourExemplar(t *testing.T) {
 	// Paper §5: "the performance of one 255 MHz Tera MTA processor is
 	// approximately equivalent to four 180 MHz Exemplar processors."
-	tera, _, err := taChunked(testCfg, "tera", 1, 256)
+	tera, _, err := taChunked(testX, "tera", 1, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exem4, _, err := taChunked(testCfg, "exemplar", 4, 4)
+	exem4, _, err := taChunked(testX, "exemplar", 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,11 +347,11 @@ func TestAutoparExperimentVerdicts(t *testing.T) {
 func TestFineGrainedStylePracticalOnlyOnMTA(t *testing.T) {
 	// Ablation: fine-grained TM should be much worse than coarse on the
 	// Exemplar, while on the MTA fine-grained is the practical approach.
-	coarse, _, err := tmCoarse(testCfg, "exemplar", 16, 16, tmBlocks)
+	coarse, _, err := tmCoarse(testX, "exemplar", 16, 16, tmBlocks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, err := tmFine(testCfg, "exemplar", 16)
+	fine, err := tmFine(testX, "exemplar", 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,11 +365,11 @@ func TestRouteSequentialOrdering(t *testing.T) {
 	// free under a cache that holds the distance array and expose the full
 	// memory latency on the cache-less MTA, so the sequential gap is at
 	// least as dramatic as Threat Analysis's.
-	alpha, err := roSeq(testCfg, "alpha", 1)
+	alpha, err := roSeq(testX, "alpha", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tera, err := roSeq(testCfg, "tera", 1)
+	tera, err := roSeq(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,11 +382,11 @@ func TestRouteMTAScalesWhileSMPsSaturate(t *testing.T) {
 	// The acceptance shape for the third workload: the MTA's fine-grained
 	// variant keeps scaling with streams, while the cached SMPs saturate at
 	// their processor counts and memory systems, then degrade.
-	fine1, _, err := roFine(testCfg, "tera", 1, 1)
+	fine1, _, err := roFine(testX, "tera", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine128, _, err := roFine(testCfg, "tera", 1, 128)
+	fine128, _, err := roFine(testX, "tera", 1, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,15 +395,15 @@ func TestRouteMTAScalesWhileSMPsSaturate(t *testing.T) {
 		t.Errorf("MTA fine-grained speedup at 128 threads = %.1f, want ≥ 8", mtaSpeedup)
 	}
 
-	ex1, _, err := roCoarse(testCfg, "exemplar", 16, 1)
+	ex1, _, err := roCoarse(testX, "exemplar", 16, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex16, _, err := roCoarse(testCfg, "exemplar", 16, 16)
+	ex16, _, err := roCoarse(testX, "exemplar", 16, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex128, _, err := roCoarse(testCfg, "exemplar", 16, 128)
+	ex128, _, err := roCoarse(testX, "exemplar", 16, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,11 +417,11 @@ func TestRouteMTAScalesWhileSMPsSaturate(t *testing.T) {
 		t.Errorf("Exemplar kept scaling past saturation: %.1f s at 128 workers vs %.1f s at 16", ex128, ex16)
 	}
 
-	pp1, _, err := roCoarse(testCfg, "ppro", 4, 1)
+	pp1, _, err := roCoarse(testX, "ppro", 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pp4, _, err := roCoarse(testCfg, "ppro", 4, 4)
+	pp4, _, err := roCoarse(testX, "ppro", 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,11 +433,11 @@ func TestRouteMTAScalesWhileSMPsSaturate(t *testing.T) {
 func TestRouteFineGrainedImpracticalOnSMP(t *testing.T) {
 	// The Tera style (a crowd of threads per wavefront, per-word sync) must
 	// be far worse than the coarse crew on a conventional SMP.
-	coarse, _, err := roCoarse(testCfg, "exemplar", 16, 16)
+	coarse, _, err := roCoarse(testX, "exemplar", 16, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, _, err := roFine(testCfg, "exemplar", 16, roFineCompare)
+	fine, _, err := roFine(testX, "exemplar", 16, roFineCompare)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,11 +450,11 @@ func TestPlotSequentialOrdering(t *testing.T) {
 	// The suite's synchronization-heavy workload: the bid loop's price
 	// chasing is dependent-load bound, so the cache-less MTA pays a
 	// dramatic sequential penalty, like the other workloads.
-	alpha, err := ptSeq(testCfg, "alpha", 1)
+	alpha, err := ptSeq(testX, "alpha", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tera, err := ptSeq(testCfg, "tera", 1)
+	tera, err := ptSeq(testX, "tera", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,11 +467,11 @@ func TestPlotMTAScalesWhileSMPsSaturate(t *testing.T) {
 	// The acceptance shape for the fourth workload: the MTA's asynchronous
 	// auction keeps scaling with streams, while the cached SMPs saturate at
 	// their processor counts and lock traffic, then degrade.
-	fine1, _, err := ptFine(testCfg, "tera", 1, 1)
+	fine1, _, err := ptFine(testX, "tera", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine128, _, err := ptFine(testCfg, "tera", 1, 128)
+	fine128, _, err := ptFine(testX, "tera", 1, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,15 +480,15 @@ func TestPlotMTAScalesWhileSMPsSaturate(t *testing.T) {
 		t.Errorf("MTA fine-grained speedup at 128 threads = %.1f, want ≥ 8", mtaSpeedup)
 	}
 
-	ex1, _, err := ptCoarse(testCfg, "exemplar", 16, 1)
+	ex1, _, err := ptCoarse(testX, "exemplar", 16, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exBest, _, err := ptCoarse(testCfg, "exemplar", 16, 4)
+	exBest, _, err := ptCoarse(testX, "exemplar", 16, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex128, _, err := ptCoarse(testCfg, "exemplar", 16, 128)
+	ex128, _, err := ptCoarse(testX, "exemplar", 16, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,11 +506,11 @@ func TestPlotMTAScalesWhileSMPsSaturate(t *testing.T) {
 func TestPlotFineGrainedImpracticalOnSMP(t *testing.T) {
 	// The Tera style (a crowd of bid threads per frame, full/empty commits)
 	// must be far worse than the coarse crew on a conventional SMP.
-	coarse, _, err := ptCoarse(testCfg, "exemplar", 16, 16)
+	coarse, _, err := ptCoarse(testX, "exemplar", 16, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fine, _, err := ptFine(testCfg, "exemplar", 16, ptFineCompare)
+	fine, _, err := ptFine(testX, "exemplar", 16, ptFineCompare)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -513,7 +522,7 @@ func TestPlotFineGrainedImpracticalOnSMP(t *testing.T) {
 func TestPlotPipelinedAblationShape(t *testing.T) {
 	// The perfect-lookahead re-pricing must help the lone MTA stream but
 	// not erase the gap: latency hiding needs threads, not lookahead.
-	res, err := runPlotPipelined(testCfg)
+	res, err := runPlotPipelined(testX)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -627,43 +636,72 @@ func TestDefaultConfigCoversRegistry(t *testing.T) {
 	}
 }
 
-func TestOnceMapResetBeforeFirstUse(t *testing.T) {
-	// The benchmark harness calls ResetCaches before the first cache use;
-	// a fresh-then-reset onceMap must still serve misses.
-	var m onceMap[int]
-	m.reset()
-	v, err := m.do("k", func() (int, error) { return 42, nil })
-	if err != nil || v != 42 {
-		t.Fatalf("do after reset = %d, %v", v, err)
+func TestResultCarriesRecords(t *testing.T) {
+	// Every model cell of a table must be backed by a raw run.Record — the
+	// machine-readable counterpart the -json CLI mode and the CI model_s
+	// gate consume.
+	e, err := Get("table5")
+	if err != nil {
+		t.Fatal(err)
 	}
-	m.reset()
-	calls := 0
-	v, err = m.do("k", func() (int, error) { calls++; return 7, nil })
-	if err != nil || v != 7 || calls != 1 {
-		t.Errorf("reset did not drop memoized value: v=%d calls=%d err=%v", v, calls, err)
+	res, err := e.Run(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("table5 produced %d records, want 2 (one and two MTA processors)", len(res.Records))
+	}
+	for i, rec := range res.Records {
+		if rec.Spec.Workload != TA || rec.Spec.Variant != "coarse" || rec.Spec.Platform != "tera" {
+			t.Errorf("record %d spec = %+v, want TA coarse on tera", i, rec.Spec)
+		}
+		if rec.Spec.Procs != i+1 {
+			t.Errorf("record %d procs = %d, want %d", i, rec.Spec.Procs, i+1)
+		}
+		if rec.ModelSeconds <= 0 || rec.PaperSeconds <= 0 {
+			t.Errorf("record %d has non-positive seconds: %+v", i, rec)
+		}
+		if rec.Key == "" || rec.Key != rec.Spec.Key() {
+			t.Errorf("record %d key %q does not match its spec key %q", i, rec.Key, rec.Spec.Key())
+		}
 	}
 }
 
-func TestOnceMapResetDuringInflight(t *testing.T) {
-	// A computation started before a reset must not repopulate the
-	// post-reset cache: its result belongs to the old generation.
-	var m onceMap[int]
-	started := make(chan struct{})
-	release := make(chan struct{})
-	go func() {
-		m.do("k", func() (int, error) {
-			close(started)
-			<-release
-			return 1, nil
-		})
-	}()
-	<-started
-	m.reset()
-	close(release)
-	// The stale call must not satisfy or poison post-reset lookups.
-	v, err := m.do("k", func() (int, error) { return 2, nil })
-	if err != nil || v != 2 {
-		t.Errorf("post-reset do = %d, %v; want fresh value 2", v, err)
+func TestRecordsRoundTripThroughSpecs(t *testing.T) {
+	// The acceptance property of the execution API: records serialized to
+	// JSON (the `c3ibench -json` payload) and re-executed from their own
+	// Specs on a fresh Runner reproduce identical ModelSeconds and Checksum.
+	e, err := Get("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []run.Record
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	fresh := run.NewRunner(0)
+	for i, rec := range decoded {
+		again, err := fresh.Run(context.Background(), rec.Spec)
+		if err != nil {
+			t.Fatalf("re-executing record %d (%s): %v", i, rec.Key, err)
+		}
+		if again.ModelSeconds != rec.ModelSeconds {
+			t.Errorf("record %d: re-run ModelSeconds %g != emitted %g", i, again.ModelSeconds, rec.ModelSeconds)
+		}
+		if again.Checksum != rec.Checksum {
+			t.Errorf("record %d: re-run Checksum %016x != emitted %016x", i, uint64(again.Checksum), uint64(rec.Checksum))
+		}
+		if again.Key != rec.Key {
+			t.Errorf("record %d: re-run Key %q != emitted %q", i, again.Key, rec.Key)
+		}
 	}
 }
 

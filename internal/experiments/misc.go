@@ -9,7 +9,7 @@ import (
 )
 
 // runTable1 reproduces Table 1: the platforms used in the comparison.
-func runTable1(cfg Config) (*Result, error) {
+func runTable1(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "table1",
 		Title:   "Platforms used in our performance comparison",
@@ -40,7 +40,7 @@ func formatGB(b uint64) string {
 // runAutopar reproduces the paper's automatic-parallelization result: the
 // dependence analyzer's verdicts and feedback for Programs 1–4 (plus the
 // textbook controls showing the analyzer is not trivially pessimistic).
-func runAutopar(cfg Config) (*Result, error) {
+func runAutopar(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "autopar",
 		Title:   "Automatic parallelization verdicts (dependence analyzer)",

@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/c3i/suite"
-	"repro/internal/machine"
-	"repro/internal/mta"
 	"repro/internal/report"
+	"repro/internal/run"
 )
 
 // runProjectionScaling realizes the paper's stated future work (§8): "A
@@ -17,12 +16,12 @@ import (
 // overcoming this obstacle."
 //
 // The projection runs both benchmarks on 1–64 processor MTA configurations
-// under two network assumptions: the 1998 development-status network (the
-// calibrated default) and a mature network (no latency multiplier, full
-// bandwidth scaling). With a mature network the no-cache/many-threads model
-// keeps scaling where the cached SMPs saturated — provided the program can
-// supply enough threads, which is exactly the machine's precondition.
-func runProjectionScaling(cfg Config) (*Result, error) {
+// under a mature-network assumption (latency multiplier 1.0, full bandwidth
+// scaling), expressed as Spec network overrides. With a mature network the
+// no-cache/many-threads model keeps scaling where the cached SMPs saturated
+// — provided the program can supply enough threads, which is exactly the
+// machine's precondition.
+func runProjectionScaling(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "projection-scaling",
 		Title:   "Projected Tera MTA scaling (the paper's future work, in the model)",
@@ -31,20 +30,14 @@ func runProjectionScaling(cfg Config) (*Result, error) {
 			"mature network assumed (latency multiplier 1.0, full bandwidth); threads scale with processors",
 			"TM fine keeps the per-threat driver serial (Amdahl-bound); TM hybrid overlaps drivers across workers with block locks",
 			"Threat Analysis tops out when the 1000-threat outer loop runs out of parallelism — the paper's \"not all programs have the potential for hundreds of threads\"",
-			fmt.Sprintf("scales %g/%g normalized", cfg.Scale(TA), cfg.Scale(TM)),
+			fmt.Sprintf("scales %g/%g normalized", x.Cfg.Scale(TA), x.Cfg.Scale(TM)),
 		},
 	}
 
-	mature := func(procs int) mta.Params {
-		p := mta.DefaultParams(procs)
-		p.NetLatencyMult = 1.0
-		p.NetBandwidthEff = 1.0
-		return p
-	}
-
-	engine := func(procs int) (string, func() *machine.Engine) {
-		p := mature(procs)
-		return fmt.Sprintf("proj-mta%d", procs), func() *machine.Engine { return mta.New(p) }
+	mature := func(workload, variant string, procs int, params suite.Params) run.Spec {
+		spec := x.Spec(workload, variant, "tera", procs, params)
+		spec.NetLatencyMult, spec.NetBandwidthEff = 1.0, 1.0
+		return spec
 	}
 	runTA := func(procs int) (float64, error) {
 		// Enough threads to cover all processors' streams (until the threat
@@ -53,22 +46,15 @@ func runProjectionScaling(cfg Config) (*Result, error) {
 		if c := procs * 128; c > chunks {
 			chunks = c
 		}
-		key, newEngine := engine(procs)
-		sec, _, err := runVariantOn(cfg, TA, "coarse", key, newEngine,
-			suite.Params{"chunks": chunks})
-		return sec, err
+		return x.Seconds(mature(TA, "coarse", procs, suite.Params{"chunks": chunks}))
 	}
 	runTMFine := func(procs int) (float64, error) {
-		key, newEngine := engine(procs)
-		sec, _, err := runVariantOn(cfg, TM, "fine", key, newEngine,
-			suite.Params{"sectors": tmSectors * procs, "merge": tmMergeChunks * procs})
-		return sec, err
+		return x.Seconds(mature(TM, "fine", procs,
+			suite.Params{"sectors": tmSectors * procs, "merge": tmMergeChunks * procs}))
 	}
 	runTMHybrid := func(procs int) (float64, error) {
-		key, newEngine := engine(procs)
-		sec, _, err := runVariantOn(cfg, TM, "hybrid", key, newEngine,
-			suite.Params{"workers": procs * 2, "sectors": tmSectors, "merge": tmMergeChunks, "blocks": 10})
-		return sec, err
+		return x.Seconds(mature(TM, "hybrid", procs,
+			suite.Params{"workers": procs * 2, "sectors": tmSectors, "merge": tmMergeChunks, "blocks": 10}))
 	}
 
 	taBase, err := runTA(1)

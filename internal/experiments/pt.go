@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/c3i/suite"
-	"repro/internal/machine"
 	"repro/internal/platforms"
 	"repro/internal/report"
+	"repro/internal/run"
 )
 
 // Plot-Track Assignment decomposition defaults: the worker/thread counts the
@@ -20,22 +20,23 @@ const (
 
 // ptSeq runs the sequential Gauss-Seidel auction on a platform and returns
 // full-suite-scale seconds.
-func ptSeq(cfg Config, key string, procs int) (float64, error) {
-	sec, _, err := runVariant(cfg, PT, "sequential", key, procs, nil)
-	return sec, err
+func ptSeq(x *Exec, key string, procs int) (float64, error) {
+	return x.Seconds(x.Spec(PT, "sequential", key, procs, nil))
 }
 
 // ptCoarse runs the Jacobi auction (private bid buffers, per-track merge
-// locks) and returns full-suite-scale seconds plus the machine result for
+// locks) and returns full-suite-scale seconds plus the run record for
 // utilization inspection.
-func ptCoarse(cfg Config, key string, procs, workers int) (float64, machine.Result, error) {
-	return runVariant(cfg, PT, "coarse", key, procs, suite.Params{"workers": workers})
+func ptCoarse(x *Exec, key string, procs, workers int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(PT, "coarse", key, procs, suite.Params{"workers": workers}))
+	return rec.PaperSeconds, rec, err
 }
 
 // ptFine runs the asynchronous auction (fetch-and-add plot claims,
 // full/empty track-ownership cells).
-func ptFine(cfg Config, key string, procs, threadsN int) (float64, machine.Result, error) {
-	return runVariant(cfg, PT, "fine", key, procs, suite.Params{"threads": threadsN})
+func ptFine(x *Exec, key string, procs, threadsN int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(PT, "fine", key, procs, suite.Params{"threads": threadsN}))
+	return rec.PaperSeconds, rec, err
 }
 
 // runPlotSeq builds the paper-style sequential table for the fourth
@@ -43,7 +44,7 @@ func ptFine(cfg Config, key string, procs, threadsN int) (float64, machine.Resul
 // platforms. The paper's evaluation covered only Threat Analysis and
 // Terrain Masking; there is no paper column, so the table reports each
 // platform relative to the Alpha, the paper's sequential yardstick.
-func runPlotSeq(cfg Config) (*Result, error) {
+func runPlotSeq(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "pt-sequential",
 		Title:   "Execution time of sequential Plot-Track Assignment without parallelization",
@@ -51,7 +52,7 @@ func runPlotSeq(cfg Config) (*Result, error) {
 		Notes: []string{
 			"suite extension: the C3IPBS Plot-Track Assignment problem, not evaluated in the paper",
 			fmt.Sprintf("model at scale %g, normalized to the suite's %d plots/scenario",
-				cfg.Scale(PT), paperUnits(PT)),
+				x.Cfg.Scale(PT), paperUnits(PT)),
 		},
 	}
 	var alpha float64
@@ -64,7 +65,7 @@ func runPlotSeq(cfg Config) (*Result, error) {
 		{"Exemplar", "exemplar", 16},
 		{"Tera", "tera", 1},
 	} {
-		sec, err := ptSeq(cfg, row.key, row.procs)
+		sec, err := ptSeq(x, row.key, row.procs)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +82,7 @@ func runPlotSeq(cfg Config) (*Result, error) {
 // practical style): the MTA keeps gaining as streams multiply while the
 // conventional machines saturate at their processor and bus limits — the
 // acceptance shape for the suite's synchronization-heavy workload.
-func runPlotStreams(cfg Config) (*Result, error) {
+func runPlotStreams(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:    "pt-streams",
 		Title: "Plot-Track Assignment vs thread count: one Tera MTA processor against the cached SMPs",
@@ -89,7 +90,7 @@ func runPlotStreams(cfg Config) (*Result, error) {
 			"Exemplar-16 coarse (s)", "PPro-4 coarse (s)"},
 		Notes: []string{
 			"MTA runs the asynchronous auction, the SMPs the Jacobi crew auction (each architecture's practical style)",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(PT)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(PT)),
 		},
 	}
 	fig := &report.Figure{
@@ -102,22 +103,22 @@ func runPlotStreams(cfg Config) (*Result, error) {
 	ppS.Label, ppS.Marker = "Pentium Pro (4 proc)", 'o'
 	var mta1, ex1, pp1 float64
 	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		mtaSec, res, err := ptFine(cfg, "tera", 1, n)
+		mtaSec, rec, err := ptFine(x, "tera", 1, n)
 		if err != nil {
 			return nil, err
 		}
-		exSec, _, err := ptCoarse(cfg, "exemplar", 16, n)
+		exSec, _, err := ptCoarse(x, "exemplar", 16, n)
 		if err != nil {
 			return nil, err
 		}
-		ppSec, _, err := ptCoarse(cfg, "ppro", 4, n)
+		ppSec, _, err := ptCoarse(x, "ppro", 4, n)
 		if err != nil {
 			return nil, err
 		}
 		if n == 1 {
 			mta1, ex1, pp1 = mtaSec, exSec, ppSec
 		}
-		tb.AddRow(n, mtaSec, fmt.Sprintf("%.1f%%", res.Stats.ProcUtil[0]*100), exSec, ppSec)
+		tb.AddRow(n, mtaSec, fmt.Sprintf("%.1f%%", rec.Stats.ProcUtil[0]*100), exSec, ppSec)
 		mtaS.X = append(mtaS.X, float64(n))
 		mtaS.Y = append(mtaS.Y, mta1/mtaSec)
 		exS.X = append(exS.X, float64(n))
@@ -132,7 +133,7 @@ func runPlotStreams(cfg Config) (*Result, error) {
 // runPlotVariants compares the three program styles across platforms — the
 // Table 7/12 analogue for the fourth workload — and records why the coarse
 // style cannot use the MTA's hundreds of streams (private-buffer memory).
-func runPlotVariants(cfg Config) (*Result, error) {
+func runPlotVariants(x *Exec) (*Result, error) {
 	tera, err := platforms.Get("tera")
 	if err != nil {
 		return nil, err
@@ -145,7 +146,7 @@ func runPlotVariants(cfg Config) (*Result, error) {
 			fmt.Sprintf("coarse style at %d workers would need %.1f GB of private bid buffers at the full C3I surveillance-frame size vs %d GB on the MTA",
 				ptMTAThreads, coarseOverheadFullScaleGB(PT, ptMTAThreads), tera.MemoryBytes>>30),
 			"the contested-track commits serialize on per-track locks for the coarse crew; the MTA's full/empty cells make the same serialization word-grained",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(PT)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(PT)),
 		},
 	}
 	type cell struct {
@@ -153,30 +154,30 @@ func runPlotVariants(cfg Config) (*Result, error) {
 		run         func() (float64, error)
 	}
 	cells := []cell{
-		{"None", "Alpha", func() (float64, error) { return ptSeq(cfg, "alpha", 1) }},
-		{"None", "Tera", func() (float64, error) { return ptSeq(cfg, "tera", 1) }},
+		{"None", "Alpha", func() (float64, error) { return ptSeq(x, "alpha", 1) }},
+		{"None", "Tera", func() (float64, error) { return ptSeq(x, "tera", 1) }},
 		{"Coarse", "Pentium Pro (4 processors)", func() (float64, error) {
-			s, _, err := ptCoarse(cfg, "ppro", 4, 4)
+			s, _, err := ptCoarse(x, "ppro", 4, 4)
 			return s, err
 		}},
 		{"Coarse", "Exemplar (16 processors)", func() (float64, error) {
-			s, _, err := ptCoarse(cfg, "exemplar", 16, 16)
+			s, _, err := ptCoarse(x, "exemplar", 16, 16)
 			return s, err
 		}},
 		{"Coarse", fmt.Sprintf("Tera MTA (1 processor, %d workers)", ptMTAWorkers), func() (float64, error) {
-			s, _, err := ptCoarse(cfg, "tera", 1, ptMTAWorkers)
+			s, _, err := ptCoarse(x, "tera", 1, ptMTAWorkers)
 			return s, err
 		}},
 		{"Fine-grained", fmt.Sprintf("Exemplar (16 processors, %d threads)", ptFineCompare), func() (float64, error) {
-			s, _, err := ptFine(cfg, "exemplar", 16, ptFineCompare)
+			s, _, err := ptFine(x, "exemplar", 16, ptFineCompare)
 			return s, err
 		}},
 		{"Fine-grained", fmt.Sprintf("Tera MTA (1 processor, %d threads)", ptMTAThreads), func() (float64, error) {
-			s, _, err := ptFine(cfg, "tera", 1, ptMTAThreads)
+			s, _, err := ptFine(x, "tera", 1, ptMTAThreads)
 			return s, err
 		}},
 		{"Fine-grained", fmt.Sprintf("Tera MTA (2 processors, %d threads)", ptMTAThreads), func() (float64, error) {
-			s, _, err := ptFine(cfg, "tera", 2, ptMTAThreads)
+			s, _, err := ptFine(x, "tera", 2, ptMTAThreads)
 			return s, err
 		}},
 	}
@@ -196,17 +197,16 @@ func runPlotVariants(cfg Config) (*Result, error) {
 // as fully pipelined streaming traffic (perfect lookahead) — the same
 // restructuring argument as the repo-wide ablation-latency experiment,
 // applied to the suite's synchronization-heavy workload.
-func runPlotPipelined(cfg Config) (*Result, error) {
-	run := func(pipelined int) (float64, error) {
-		sec, _, err := runVariantOn(cfg, PT, "sequential", "pt-pipe-mta1", mta1,
-			suite.Params{"pipelined": pipelined})
-		return sec, err
+func runPlotPipelined(x *Exec) (*Result, error) {
+	price := func(pipelined int) (float64, error) {
+		return x.Seconds(x.Spec(PT, "sequential", "tera", 1,
+			suite.Params{"pipelined": pipelined}))
 	}
-	dep, err := run(0)
+	dep, err := price(0)
 	if err != nil {
 		return nil, err
 	}
-	pipe, err := run(1)
+	pipe, err := price(1)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +216,7 @@ func runPlotPipelined(cfg Config) (*Result, error) {
 		Columns: []string{"Kernel", "Calibrated (s)", "All refs pipelined (s)", "Latency share"},
 		Notes: []string{
 			"with no cache, the bid loop's price-chasing loads expose the full memory latency to a lone stream; multithreading (not lookahead) is what hides it",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(PT)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(PT)),
 		},
 	}
 	tb.AddRow("Plot-Track Assignment", dep, pipe, fmt.Sprintf("%.0f%%", 100*(dep-pipe)/dep))

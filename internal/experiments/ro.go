@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/c3i/suite"
-	"repro/internal/machine"
 	"repro/internal/platforms"
 	"repro/internal/report"
+	"repro/internal/run"
 )
 
 // Route Optimization decomposition defaults: the coarse variant's grid
@@ -22,23 +22,24 @@ const (
 
 // roSeq runs sequential Route Optimization (Dijkstra) on a platform and
 // returns full-suite-scale seconds.
-func roSeq(cfg Config, key string, procs int) (float64, error) {
-	sec, _, err := runVariant(cfg, RO, "sequential", key, procs, nil)
-	return sec, err
+func roSeq(x *Exec, key string, procs int) (float64, error) {
+	return x.Seconds(x.Spec(RO, "sequential", key, procs, nil))
 }
 
 // roCoarse runs the coarse ∆-stepping variant (private candidate buffers,
-// per-block merge locks) and returns full-suite-scale seconds plus the
-// machine result for utilization inspection.
-func roCoarse(cfg Config, key string, procs, workers int) (float64, machine.Result, error) {
-	return runVariant(cfg, RO, "coarse", key, procs,
-		suite.Params{"workers": workers, "blocks": roBlocks})
+// per-block merge locks) and returns full-suite-scale seconds plus the run
+// record for utilization inspection.
+func roCoarse(x *Exec, key string, procs, workers int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(RO, "coarse", key, procs,
+		suite.Params{"workers": workers, "blocks": roBlocks}))
+	return rec.PaperSeconds, rec, err
 }
 
 // roFine runs the fine-grained shared-bucket variant (fetch-and-add claims,
 // full/empty distance guards).
-func roFine(cfg Config, key string, procs, threadsN int) (float64, machine.Result, error) {
-	return runVariant(cfg, RO, "fine", key, procs, suite.Params{"threads": threadsN})
+func roFine(x *Exec, key string, procs, threadsN int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(RO, "fine", key, procs, suite.Params{"threads": threadsN}))
+	return rec.PaperSeconds, rec, err
 }
 
 // runRouteSeq builds the paper-style sequential table for the third
@@ -46,7 +47,7 @@ func roFine(cfg Config, key string, procs, threadsN int) (float64, machine.Resul
 // platforms. The paper's evaluation covered only Threat Analysis and Terrain
 // Masking; there is no paper column, so the table reports each platform
 // relative to the Alpha, the paper's sequential yardstick.
-func runRouteSeq(cfg Config) (*Result, error) {
+func runRouteSeq(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "ro-sequential",
 		Title:   "Execution time of sequential Route Optimization without parallelization",
@@ -54,7 +55,7 @@ func runRouteSeq(cfg Config) (*Result, error) {
 		Notes: []string{
 			"suite extension: the C3IPBS Route Optimization problem, not evaluated in the paper",
 			fmt.Sprintf("model at scale %g, normalized to the suite's %d route requests/scenario",
-				cfg.Scale(RO), paperUnits(RO)),
+				x.Cfg.Scale(RO), paperUnits(RO)),
 		},
 	}
 	var alpha float64
@@ -67,7 +68,7 @@ func runRouteSeq(cfg Config) (*Result, error) {
 		{"Exemplar", "exemplar", 16},
 		{"Tera", "tera", 1},
 	} {
-		sec, err := roSeq(cfg, row.key, row.procs)
+		sec, err := roSeq(x, row.key, row.procs)
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +85,7 @@ func runRouteSeq(cfg Config) (*Result, error) {
 // practical style): the MTA keeps gaining as streams multiply while the
 // conventional machines saturate at their processor and bus limits — the
 // acceptance shape for the suite's irregular workload.
-func runRouteStreams(cfg Config) (*Result, error) {
+func runRouteStreams(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:    "ro-streams",
 		Title: "Route Optimization vs thread count: one Tera MTA processor against the cached SMPs",
@@ -92,7 +93,7 @@ func runRouteStreams(cfg Config) (*Result, error) {
 			"Exemplar-16 coarse (s)", "PPro-4 coarse (s)"},
 		Notes: []string{
 			"MTA runs the fine-grained shared-bucket variant, the SMPs the coarse private-buffer variant (each architecture's practical style)",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(RO)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(RO)),
 		},
 	}
 	fig := &report.Figure{
@@ -105,22 +106,22 @@ func runRouteStreams(cfg Config) (*Result, error) {
 	ppS.Label, ppS.Marker = "Pentium Pro (4 proc)", 'o'
 	var mta1, ex1, pp1 float64
 	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		mtaSec, res, err := roFine(cfg, "tera", 1, n)
+		mtaSec, rec, err := roFine(x, "tera", 1, n)
 		if err != nil {
 			return nil, err
 		}
-		exSec, _, err := roCoarse(cfg, "exemplar", 16, n)
+		exSec, _, err := roCoarse(x, "exemplar", 16, n)
 		if err != nil {
 			return nil, err
 		}
-		ppSec, _, err := roCoarse(cfg, "ppro", 4, n)
+		ppSec, _, err := roCoarse(x, "ppro", 4, n)
 		if err != nil {
 			return nil, err
 		}
 		if n == 1 {
 			mta1, ex1, pp1 = mtaSec, exSec, ppSec
 		}
-		tb.AddRow(n, mtaSec, fmt.Sprintf("%.1f%%", res.Stats.ProcUtil[0]*100), exSec, ppSec)
+		tb.AddRow(n, mtaSec, fmt.Sprintf("%.1f%%", rec.Stats.ProcUtil[0]*100), exSec, ppSec)
 		mtaS.X = append(mtaS.X, float64(n))
 		mtaS.Y = append(mtaS.Y, mta1/mtaSec)
 		exS.X = append(exS.X, float64(n))
@@ -135,7 +136,7 @@ func runRouteStreams(cfg Config) (*Result, error) {
 // runRouteVariants compares the three program styles across platforms — the
 // Table 7/12 analogue for the third workload — and records why the coarse
 // style cannot use the MTA's hundreds of streams (private-buffer memory).
-func runRouteVariants(cfg Config) (*Result, error) {
+func runRouteVariants(x *Exec) (*Result, error) {
 	tera, err := platforms.Get("tera")
 	if err != nil {
 		return nil, err
@@ -148,7 +149,7 @@ func runRouteVariants(cfg Config) (*Result, error) {
 			fmt.Sprintf("coarse style at %d workers would need %.1f GB of private candidate buffers at full terrain resolution vs %d GB on the MTA",
 				roMTAThreads, coarseOverheadFullScaleGB(RO, roMTAThreads), tera.MemoryBytes>>30),
 			"two MTA processors gain little here: each wavefront's dependent-load chain bounds the phase critical path, and the development-status network lengthens it (cf. the paper's 1.4 Terrain Masking speedup)",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(RO)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(RO)),
 		},
 	}
 	type cell struct {
@@ -156,30 +157,30 @@ func runRouteVariants(cfg Config) (*Result, error) {
 		run         func() (float64, error)
 	}
 	cells := []cell{
-		{"None", "Alpha", func() (float64, error) { return roSeq(cfg, "alpha", 1) }},
-		{"None", "Tera", func() (float64, error) { return roSeq(cfg, "tera", 1) }},
+		{"None", "Alpha", func() (float64, error) { return roSeq(x, "alpha", 1) }},
+		{"None", "Tera", func() (float64, error) { return roSeq(x, "tera", 1) }},
 		{"Coarse", "Pentium Pro (4 processors)", func() (float64, error) {
-			s, _, err := roCoarse(cfg, "ppro", 4, 4)
+			s, _, err := roCoarse(x, "ppro", 4, 4)
 			return s, err
 		}},
 		{"Coarse", "Exemplar (16 processors)", func() (float64, error) {
-			s, _, err := roCoarse(cfg, "exemplar", 16, 16)
+			s, _, err := roCoarse(x, "exemplar", 16, 16)
 			return s, err
 		}},
 		{"Coarse", fmt.Sprintf("Tera MTA (1 processor, %d chunks)", roMTAChunks), func() (float64, error) {
-			s, _, err := roCoarse(cfg, "tera", 1, roMTAChunks)
+			s, _, err := roCoarse(x, "tera", 1, roMTAChunks)
 			return s, err
 		}},
 		{"Fine-grained", fmt.Sprintf("Exemplar (16 processors, %d threads)", roFineCompare), func() (float64, error) {
-			s, _, err := roFine(cfg, "exemplar", 16, roFineCompare)
+			s, _, err := roFine(x, "exemplar", 16, roFineCompare)
 			return s, err
 		}},
 		{"Fine-grained", fmt.Sprintf("Tera MTA (1 processor, %d threads)", roMTAThreads), func() (float64, error) {
-			s, _, err := roFine(cfg, "tera", 1, roMTAThreads)
+			s, _, err := roFine(x, "tera", 1, roMTAThreads)
 			return s, err
 		}},
 		{"Fine-grained", fmt.Sprintf("Tera MTA (2 processors, %d threads)", roMTAThreads), func() (float64, error) {
-			s, _, err := roFine(cfg, "tera", 2, roMTAThreads)
+			s, _, err := roFine(x, "tera", 2, roMTAThreads)
 			return s, err
 		}},
 	}

@@ -4,37 +4,36 @@ import (
 	"fmt"
 
 	"repro/internal/c3i/suite"
-	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/run"
 )
 
 // taSeq runs sequential Threat Analysis on a platform and returns
 // paper-scale seconds.
-func taSeq(cfg Config, key string, procs int) (float64, error) {
-	sec, _, err := runVariant(cfg, TA, "sequential", key, procs, nil)
-	return sec, err
+func taSeq(x *Exec, key string, procs int) (float64, error) {
+	return x.Seconds(x.Spec(TA, "sequential", key, procs, nil))
 }
 
 // taChunked runs the chunked (Program 2) variant and returns paper-scale
-// seconds plus the machine result (for utilization ablations).
-func taChunked(cfg Config, key string, procs, chunks int) (float64, machine.Result, error) {
-	return runVariant(cfg, TA, "coarse", key, procs, suite.Params{"chunks": chunks})
+// seconds plus the run record (for utilization ablations).
+func taChunked(x *Exec, key string, procs, chunks int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(TA, "coarse", key, procs, suite.Params{"chunks": chunks}))
+	return rec.PaperSeconds, rec, err
 }
 
 // taFine runs the fine-grained (sync-variable) variant.
-func taFine(cfg Config, key string, procs int) (float64, error) {
-	sec, _, err := runVariant(cfg, TA, "fine", key, procs, nil)
-	return sec, err
+func taFine(x *Exec, key string, procs int) (float64, error) {
+	return x.Seconds(x.Spec(TA, "fine", key, procs, nil))
 }
 
 // runTable2 reproduces Table 2: sequential Threat Analysis on all four
 // platforms.
-func runTable2(cfg Config) (*Result, error) {
+func runTable2(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "table2",
 		Title:   "Execution time of sequential Threat Analysis without parallelization",
 		Columns: []string{"Platform", "Paper (s)", "Model (s)", "Model/Paper"},
-		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 1000 threats/scenario", cfg.Scale(TA))},
+		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 1000 threats/scenario", x.Cfg.Scale(TA))},
 	}
 	for _, row := range []struct {
 		name, key string
@@ -45,7 +44,7 @@ func runTable2(cfg Config) (*Result, error) {
 		{"Exemplar", "exemplar", 16},
 		{"Tera", "tera", 1},
 	} {
-		sec, err := taSeq(cfg, row.key, row.procs)
+		sec, err := taSeq(x, row.key, row.procs)
 		if err != nil {
 			return nil, err
 		}
@@ -93,15 +92,15 @@ func speedupTable(id, figID, title, figTitle string, paper map[int]float64,
 
 // runTable3 reproduces Table 3 / Figure 1: chunked Threat Analysis on the
 // quad Pentium Pro, one chunk per processor.
-func runTable3(cfg Config) (*Result, error) {
+func runTable3(x *Exec) (*Result, error) {
 	model := map[int]float64{}
-	seq, err := taSeq(cfg, "ppro", 4)
+	seq, err := taSeq(x, "ppro", 4)
 	if err != nil {
 		return nil, err
 	}
 	model[0] = seq
 	for p := 1; p <= 4; p++ {
-		sec, _, err := taChunked(cfg, "ppro", p, p)
+		sec, _, err := taChunked(x, "ppro", p, p)
 		if err != nil {
 			return nil, err
 		}
@@ -111,20 +110,20 @@ func runTable3(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Threat Analysis on quad-processor Pentium Pro",
 		"Speedup of multithreaded Threat Analysis on quad-processor Pentium Pro",
 		PaperTable3, model, 4,
-		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.Scale(TA))), nil
+		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", x.Cfg.Scale(TA))), nil
 }
 
 // runTable4 reproduces Table 4 / Figure 2: chunked Threat Analysis on the
 // 16-processor Exemplar.
-func runTable4(cfg Config) (*Result, error) {
+func runTable4(x *Exec) (*Result, error) {
 	model := map[int]float64{}
-	seq, err := taSeq(cfg, "exemplar", 16)
+	seq, err := taSeq(x, "exemplar", 16)
 	if err != nil {
 		return nil, err
 	}
 	model[0] = seq
 	for p := 1; p <= 16; p++ {
-		sec, _, err := taChunked(cfg, "exemplar", p, p)
+		sec, _, err := taChunked(x, "exemplar", p, p)
 		if err != nil {
 			return nil, err
 		}
@@ -134,21 +133,21 @@ func runTable4(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Threat Analysis on 16-processor Exemplar",
 		"Speedup of multithreaded Threat Analysis on 16-processor Exemplar",
 		PaperTable4, model, 16,
-		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", cfg.Scale(TA))), nil
+		fmt.Sprintf("one chunk/thread per processor; scale %g normalized", x.Cfg.Scale(TA))), nil
 }
 
 // runTable5 reproduces Table 5: chunked Threat Analysis on the Tera MTA with
 // 256 chunks, one and two processors.
-func runTable5(cfg Config) (*Result, error) {
+func runTable5(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "table5",
 		Title:   "Execution time of multithreaded Threat Analysis on dual-processor Tera MTA",
 		Columns: []string{"Number of Processors", "Paper (s)", "Paper speedup", "Model (s)", "Model speedup"},
-		Notes:   []string{fmt.Sprintf("256 chunks; scale %g normalized", cfg.Scale(TA))},
+		Notes:   []string{fmt.Sprintf("256 chunks; scale %g normalized", x.Cfg.Scale(TA))},
 	}
 	var oneProc float64
 	for _, p := range []int{1, 2} {
-		sec, _, err := taChunked(cfg, "tera", p, 256)
+		sec, _, err := taChunked(x, "tera", p, 256)
 		if err != nil {
 			return nil, err
 		}
@@ -163,15 +162,15 @@ func runTable5(cfg Config) (*Result, error) {
 
 // runTable6 reproduces Table 6: Threat Analysis on the dual-processor Tera
 // MTA as the chunk count varies.
-func runTable6(cfg Config) (*Result, error) {
+func runTable6(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "table6",
 		Title:   "Execution time of multithreaded Threat Analysis with varying number of chunks on Tera MTA",
 		Columns: []string{"Number of Chunks", "Paper (s)", "Model (s)"},
-		Notes:   []string{fmt.Sprintf("two processors; scale %g normalized", cfg.Scale(TA))},
+		Notes:   []string{fmt.Sprintf("two processors; scale %g normalized", x.Cfg.Scale(TA))},
 	}
 	for _, chunks := range suite.SortedKeys(PaperTable6) {
-		sec, _, err := taChunked(cfg, "tera", 2, chunks)
+		sec, _, err := taChunked(x, "tera", 2, chunks)
 		if err != nil {
 			return nil, err
 		}
@@ -184,14 +183,14 @@ func runTable6(cfg Config) (*Result, error) {
 // parallelization strategies and platforms. The "Automatic" rows equal the
 // sequential rows because the dependence analyzer (like the paper's
 // compilers) finds no practical opportunities — see the autopar experiment.
-func runTable7(cfg Config) (*Result, error) {
+func runTable7(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "table7",
 		Title:   "Performance comparison for execution times of Threat Analysis",
 		Columns: []string{"Parallelization", "Platform", "Paper (s)", "Model (s)"},
 		Notes: []string{
 			"automatic parallelization found no opportunities (see experiment `autopar`), so those rows equal sequential execution",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(TA)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(TA)),
 		},
 	}
 	type cell struct {
@@ -200,34 +199,34 @@ func runTable7(cfg Config) (*Result, error) {
 		run         func() (float64, error)
 	}
 	cells := []cell{
-		{"None", "Alpha", 187, func() (float64, error) { return taSeq(cfg, "alpha", 1) }},
-		{"None", "Pentium Pro", 458, func() (float64, error) { return taSeq(cfg, "ppro", 4) }},
-		{"None", "Exemplar", 343, func() (float64, error) { return taSeq(cfg, "exemplar", 16) }},
-		{"None", "Tera", 2584, func() (float64, error) { return taSeq(cfg, "tera", 1) }},
-		{"Automatic", "Exemplar", 343, func() (float64, error) { return taSeq(cfg, "exemplar", 16) }},
-		{"Automatic", "Tera", 2584, func() (float64, error) { return taSeq(cfg, "tera", 1) }},
+		{"None", "Alpha", 187, func() (float64, error) { return taSeq(x, "alpha", 1) }},
+		{"None", "Pentium Pro", 458, func() (float64, error) { return taSeq(x, "ppro", 4) }},
+		{"None", "Exemplar", 343, func() (float64, error) { return taSeq(x, "exemplar", 16) }},
+		{"None", "Tera", 2584, func() (float64, error) { return taSeq(x, "tera", 1) }},
+		{"Automatic", "Exemplar", 343, func() (float64, error) { return taSeq(x, "exemplar", 16) }},
+		{"Automatic", "Tera", 2584, func() (float64, error) { return taSeq(x, "tera", 1) }},
 		{"Manual", "Pentium Pro (4 processors)", 117, func() (float64, error) {
-			s, _, err := taChunked(cfg, "ppro", 4, 4)
+			s, _, err := taChunked(x, "ppro", 4, 4)
 			return s, err
 		}},
 		{"Manual", "Exemplar (4 processors)", 87, func() (float64, error) {
-			s, _, err := taChunked(cfg, "exemplar", 4, 4)
+			s, _, err := taChunked(x, "exemplar", 4, 4)
 			return s, err
 		}},
 		{"Manual", "Exemplar (8 processors)", 43, func() (float64, error) {
-			s, _, err := taChunked(cfg, "exemplar", 8, 8)
+			s, _, err := taChunked(x, "exemplar", 8, 8)
 			return s, err
 		}},
 		{"Manual", "Exemplar (16 processors)", 22, func() (float64, error) {
-			s, _, err := taChunked(cfg, "exemplar", 16, 16)
+			s, _, err := taChunked(x, "exemplar", 16, 16)
 			return s, err
 		}},
 		{"Manual", "Tera MTA (1 processor)", 82, func() (float64, error) {
-			s, _, err := taChunked(cfg, "tera", 1, 256)
+			s, _, err := taChunked(x, "tera", 1, 256)
 			return s, err
 		}},
 		{"Manual", "Tera MTA (2 processors)", 46, func() (float64, error) {
-			s, _, err := taChunked(cfg, "tera", 2, 256)
+			s, _, err := taChunked(x, "tera", 2, 256)
 			return s, err
 		}},
 	}

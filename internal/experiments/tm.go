@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/c3i/suite"
-	"repro/internal/machine"
 	"repro/internal/platforms"
 	"repro/internal/report"
+	"repro/internal/run"
 )
 
 // Fine-grained Terrain Masking decomposition on the MTA: the ray fan is
@@ -23,32 +23,31 @@ const tmBlocks = 10
 
 // tmSeq runs sequential Terrain Masking (charge-replay mode) and returns
 // paper-scale seconds.
-func tmSeq(cfg Config, key string, procs int) (float64, error) {
-	sec, _, err := runVariant(cfg, TM, "sequential", key, procs, nil)
-	return sec, err
+func tmSeq(x *Exec, key string, procs int) (float64, error) {
+	return x.Seconds(x.Spec(TM, "sequential", key, procs, nil))
 }
 
 // tmCoarse runs the coarse-grained lock-blocked variant.
-func tmCoarse(cfg Config, key string, procs, workers, blocks int) (float64, machine.Result, error) {
-	return runVariant(cfg, TM, "coarse", key, procs,
-		suite.Params{"workers": workers, "blocks": blocks})
+func tmCoarse(x *Exec, key string, procs, workers, blocks int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(TM, "coarse", key, procs,
+		suite.Params{"workers": workers, "blocks": blocks}))
+	return rec.PaperSeconds, rec, err
 }
 
 // tmFine runs the fine-grained inner-loop variant.
-func tmFine(cfg Config, key string, procs int) (float64, error) {
-	sec, _, err := runVariant(cfg, TM, "fine", key, procs,
-		suite.Params{"sectors": tmSectors, "merge": tmMergeChunks})
-	return sec, err
+func tmFine(x *Exec, key string, procs int) (float64, error) {
+	return x.Seconds(x.Spec(TM, "fine", key, procs,
+		suite.Params{"sectors": tmSectors, "merge": tmMergeChunks}))
 }
 
 // runTable8 reproduces Table 8: sequential Terrain Masking on all four
 // platforms.
-func runTable8(cfg Config) (*Result, error) {
+func runTable8(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "table8",
 		Title:   "Execution time of sequential Terrain Masking without parallelization",
 		Columns: []string{"Platform", "Paper (s)", "Model (s)", "Model/Paper"},
-		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 60 threats/scenario", cfg.Scale(TM))},
+		Notes:   []string{fmt.Sprintf("model at scale %g, normalized to the paper's 60 threats/scenario", x.Cfg.Scale(TM))},
 	}
 	for _, row := range []struct {
 		name, key string
@@ -59,7 +58,7 @@ func runTable8(cfg Config) (*Result, error) {
 		{"Exemplar", "exemplar", 16},
 		{"Tera", "tera", 1},
 	} {
-		sec, err := tmSeq(cfg, row.key, row.procs)
+		sec, err := tmSeq(x, row.key, row.procs)
 		if err != nil {
 			return nil, err
 		}
@@ -71,15 +70,15 @@ func runTable8(cfg Config) (*Result, error) {
 
 // runTable9 reproduces Table 9 / Figure 3: coarse-grained Terrain Masking on
 // the quad Pentium Pro, one worker per processor, ten-by-ten blocking.
-func runTable9(cfg Config) (*Result, error) {
+func runTable9(x *Exec) (*Result, error) {
 	model := map[int]float64{}
-	seq, err := tmSeq(cfg, "ppro", 4)
+	seq, err := tmSeq(x, "ppro", 4)
 	if err != nil {
 		return nil, err
 	}
 	model[0] = seq
 	for p := 1; p <= 4; p++ {
-		sec, _, err := tmCoarse(cfg, "ppro", p, p, tmBlocks)
+		sec, _, err := tmCoarse(x, "ppro", p, p, tmBlocks)
 		if err != nil {
 			return nil, err
 		}
@@ -89,20 +88,20 @@ func runTable9(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Terrain Masking on quad-processor Pentium Pro",
 		"Speedup of coarse-grained multithreaded Terrain Masking on quad-processor Pentium Pro",
 		PaperTable9, model, 4,
-		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.Scale(TM))), nil
+		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", x.Cfg.Scale(TM))), nil
 }
 
 // runTable10 reproduces Table 10 / Figure 4: coarse-grained Terrain Masking
 // on the 16-processor Exemplar.
-func runTable10(cfg Config) (*Result, error) {
+func runTable10(x *Exec) (*Result, error) {
 	model := map[int]float64{}
-	seq, err := tmSeq(cfg, "exemplar", 16)
+	seq, err := tmSeq(x, "exemplar", 16)
 	if err != nil {
 		return nil, err
 	}
 	model[0] = seq
 	for p := 1; p <= 16; p++ {
-		sec, _, err := tmCoarse(cfg, "exemplar", p, p, tmBlocks)
+		sec, _, err := tmCoarse(x, "exemplar", p, p, tmBlocks)
 		if err != nil {
 			return nil, err
 		}
@@ -112,14 +111,14 @@ func runTable10(cfg Config) (*Result, error) {
 		"Execution time of multithreaded Terrain Masking on 16-processor Exemplar",
 		"Speedup of multithreaded Terrain Masking on 16-processor Exemplar",
 		PaperTable10, model, 16,
-		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", cfg.Scale(TM))), nil
+		fmt.Sprintf("one thread per processor, ten-by-ten blocking; scale %g normalized", x.Cfg.Scale(TM))), nil
 }
 
 // runTable11 reproduces Table 11: fine-grained Terrain Masking on the Tera
 // MTA, one and two processors. The coarse-grained variant is infeasible
 // there — efficient use of the machine needs hundreds of streams, and
 // hundreds of private temp arrays exceed the machine's 2 GB (see the note).
-func runTable11(cfg Config) (*Result, error) {
+func runTable11(x *Exec) (*Result, error) {
 	tera, err := platforms.Get("tera")
 	if err != nil {
 		return nil, err
@@ -130,14 +129,14 @@ func runTable11(cfg Config) (*Result, error) {
 		Columns: []string{"Number of Processors", "Paper (s)", "Paper speedup", "Model (s)", "Model speedup"},
 		Notes: []string{
 			fmt.Sprintf("fine-grained inner-loop parallelism (%d ray sectors, %d merge chunks); scale %g normalized",
-				tmSectors, tmMergeChunks, cfg.Scale(TM)),
+				tmSectors, tmMergeChunks, x.Cfg.Scale(TM)),
 			fmt.Sprintf("coarse-grained variant infeasible on the MTA: 256 workers would need %.1f GB of private temp arrays vs %d GB of memory",
 				coarseOverheadFullScaleGB(TM, 256), tera.MemoryBytes>>30),
 		},
 	}
 	var oneProc float64
 	for _, p := range []int{1, 2} {
-		sec, err := tmFine(cfg, "tera", p)
+		sec, err := tmFine(x, "tera", p)
 		if err != nil {
 			return nil, err
 		}
@@ -151,14 +150,14 @@ func runTable11(cfg Config) (*Result, error) {
 }
 
 // runTable12 reproduces Table 12: the Terrain Masking summary.
-func runTable12(cfg Config) (*Result, error) {
+func runTable12(x *Exec) (*Result, error) {
 	tb := &report.Table{
 		ID:      "table12",
 		Title:   "Performance comparison for execution times of Terrain Masking",
 		Columns: []string{"Parallelization", "Platform", "Paper (s)", "Model (s)"},
 		Notes: []string{
 			"automatic parallelization found no opportunities (see experiment `autopar`), so those rows equal sequential execution",
-			fmt.Sprintf("scale %g normalized", cfg.Scale(TM)),
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(TM)),
 		},
 	}
 	type cell struct {
@@ -167,30 +166,30 @@ func runTable12(cfg Config) (*Result, error) {
 		run         func() (float64, error)
 	}
 	cells := []cell{
-		{"None", "Alpha", 158, func() (float64, error) { return tmSeq(cfg, "alpha", 1) }},
-		{"None", "Pentium Pro", 197, func() (float64, error) { return tmSeq(cfg, "ppro", 4) }},
-		{"None", "Exemplar", 228, func() (float64, error) { return tmSeq(cfg, "exemplar", 16) }},
-		{"None", "Tera", 978, func() (float64, error) { return tmSeq(cfg, "tera", 1) }},
-		{"Automatic", "Exemplar", 228, func() (float64, error) { return tmSeq(cfg, "exemplar", 16) }},
-		{"Automatic", "Tera", 978, func() (float64, error) { return tmSeq(cfg, "tera", 1) }},
+		{"None", "Alpha", 158, func() (float64, error) { return tmSeq(x, "alpha", 1) }},
+		{"None", "Pentium Pro", 197, func() (float64, error) { return tmSeq(x, "ppro", 4) }},
+		{"None", "Exemplar", 228, func() (float64, error) { return tmSeq(x, "exemplar", 16) }},
+		{"None", "Tera", 978, func() (float64, error) { return tmSeq(x, "tera", 1) }},
+		{"Automatic", "Exemplar", 228, func() (float64, error) { return tmSeq(x, "exemplar", 16) }},
+		{"Automatic", "Tera", 978, func() (float64, error) { return tmSeq(x, "tera", 1) }},
 		{"Manual", "Pentium Pro (4 processors)", 65, func() (float64, error) {
-			s, _, err := tmCoarse(cfg, "ppro", 4, 4, tmBlocks)
+			s, _, err := tmCoarse(x, "ppro", 4, 4, tmBlocks)
 			return s, err
 		}},
 		{"Manual", "Exemplar (4 processors)", 59, func() (float64, error) {
-			s, _, err := tmCoarse(cfg, "exemplar", 4, 4, tmBlocks)
+			s, _, err := tmCoarse(x, "exemplar", 4, 4, tmBlocks)
 			return s, err
 		}},
 		{"Manual", "Exemplar (8 processors)", 37, func() (float64, error) {
-			s, _, err := tmCoarse(cfg, "exemplar", 8, 8, tmBlocks)
+			s, _, err := tmCoarse(x, "exemplar", 8, 8, tmBlocks)
 			return s, err
 		}},
 		{"Manual", "Exemplar (16 processors)", 37, func() (float64, error) {
-			s, _, err := tmCoarse(cfg, "exemplar", 16, 16, tmBlocks)
+			s, _, err := tmCoarse(x, "exemplar", 16, 16, tmBlocks)
 			return s, err
 		}},
-		{"Manual", "Tera MTA (1 processor)", 48, func() (float64, error) { return tmFine(cfg, "tera", 1) }},
-		{"Manual", "Tera MTA (2 processors)", 34, func() (float64, error) { return tmFine(cfg, "tera", 2) }},
+		{"Manual", "Tera MTA (1 processor)", 48, func() (float64, error) { return tmFine(x, "tera", 1) }},
+		{"Manual", "Tera MTA (2 processors)", 34, func() (float64, error) { return tmFine(x, "tera", 2) }},
 	}
 	for _, c := range cells {
 		sec, err := c.run()

@@ -32,21 +32,22 @@ type Config struct {
 	Procs   int     // processor count
 }
 
-// Stats aggregates activity over one Run.
+// Stats aggregates activity over one Run. The JSON tags are the
+// internal/run Record wire format.
 type Stats struct {
-	Cycles      float64 // simulated cycles from start to completion
-	Ops         int64   // abstract operations charged via Compute
-	MemRefs     int64   // references described via Burst
-	CacheHits   int64   // conventional machines only
-	CacheMisses int64
-	SyncOps     int64     // full/empty variable touches
-	AtomicOps   int64     // counter fetch-and-add operations
-	LockOps     int64     // lock/unlock operations
-	BarrierOps  int64     // barrier arrivals
-	Spawns      int64     // threads created
-	MaxLive     int       // high-water mark of live threads
-	ProcUtil    []float64 // per-processor utilization (issue or execution)
-	MemUtil     float64   // memory/bus utilization
+	Cycles      float64   `json:"cycles"`     // simulated cycles from start to completion
+	Ops         int64     `json:"ops"`        // abstract operations charged via Compute
+	MemRefs     int64     `json:"mem_refs"`   // references described via Burst
+	CacheHits   int64     `json:"cache_hits"` // conventional machines only
+	CacheMisses int64     `json:"cache_misses"`
+	SyncOps     int64     `json:"sync_ops"`    // full/empty variable touches
+	AtomicOps   int64     `json:"atomic_ops"`  // counter fetch-and-add operations
+	LockOps     int64     `json:"lock_ops"`    // lock/unlock operations
+	BarrierOps  int64     `json:"barrier_ops"` // barrier arrivals
+	Spawns      int64     `json:"spawns"`      // threads created
+	MaxLive     int       `json:"max_live"`    // high-water mark of live threads
+	ProcUtil    []float64 `json:"proc_util"`   // per-processor utilization (issue or execution)
+	MemUtil     float64   `json:"mem_util"`    // memory/bus utilization
 }
 
 // Result is the outcome of running a program on a machine.
@@ -365,14 +366,22 @@ func (v *SyncVar) Full() bool { return v.full }
 // Counter is an atomic fetch-and-add cell (the MTA's int_fetch_add; a
 // bus-locked read-modify-write on conventional machines).
 type Counter struct {
-	e   *Engine
-	val int64
+	e    *Engine
+	name string
+	val  int64
 }
 
-// NewCounter creates a counter with the given initial value.
+// NewCounter creates a counter with the given initial value. The name is
+// recorded in the timeline (a SyncAlloc event) like every other named
+// primitive, so traces show which counters a phase allocates.
 func (t *Thread) NewCounter(name string, init int64) *Counter {
-	return &Counter{e: t.E, val: init}
+	t.E.tracer.Record(trace.Event{T: t.P.Now(), Thread: t.name, Proc: t.Proc,
+		Kind: trace.SyncAlloc, Label: "counter " + name})
+	return &Counter{e: t.E, name: name, val: init}
 }
+
+// Name returns the counter's diagnostic name.
+func (c *Counter) Name() string { return c.name }
 
 // Next atomically returns the current value and increments by one.
 func (c *Counter) Next(t *Thread) int64 {
@@ -395,19 +404,26 @@ func (c *Counter) Value() int64 { return c.val }
 // of them; it is reusable across generations.
 type Barrier struct {
 	e          *Engine
+	name       string
 	parties    int
 	count      int
 	generation int
 	q          *sim.WaitQ
 }
 
-// NewBarrier creates a barrier for the given number of parties.
+// NewBarrier creates a barrier for the given number of parties. Like
+// NewCounter, the name is kept and recorded in the timeline.
 func (t *Thread) NewBarrier(name string, parties int) *Barrier {
 	if parties < 1 {
 		panic("machine: barrier with no parties: " + name)
 	}
-	return &Barrier{e: t.E, parties: parties, q: sim.NewWaitQ("barrier " + name)}
+	t.E.tracer.Record(trace.Event{T: t.P.Now(), Thread: t.name, Proc: t.Proc,
+		Kind: trace.SyncAlloc, Label: "barrier " + name})
+	return &Barrier{e: t.E, name: name, parties: parties, q: sim.NewWaitQ("barrier " + name)}
 }
+
+// Name returns the barrier's diagnostic name.
+func (b *Barrier) Name() string { return b.name }
 
 // Arrive blocks until all parties have arrived at the current generation.
 func (b *Barrier) Arrive(t *Thread) {

@@ -2,9 +2,11 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // unitModel charges one cycle per op/ref/touch and admits threads
@@ -439,5 +441,60 @@ func TestBadConfigPanics(t *testing.T) {
 			}()
 			New(cfg, &unitModel{})
 		}()
+	}
+}
+
+func TestCounterBarrierNamesThreadedIntoTrace(t *testing.T) {
+	// NewCounter and NewBarrier must not drop their name argument: the name
+	// is kept on the primitive and recorded as a SyncAlloc timeline event,
+	// matching the named WaitQs of NewLock/NewSyncVar.
+	e := newTestEngine(1)
+	log := trace.New(1e6)
+	e.SetTracer(log)
+	if _, err := e.Run("main", func(th *Thread) {
+		c := th.NewCounter("claims", 0)
+		if c.Name() != "claims" {
+			t.Errorf("counter name = %q, want claims", c.Name())
+		}
+		b := th.NewBarrier("phase", 1)
+		if b.Name() != "phase" {
+			t.Errorf("barrier name = %q, want phase", b.Name())
+		}
+		c.Next(th)
+		b.Arrive(th)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, ev := range log.Events {
+		if ev.Kind == trace.SyncAlloc {
+			labels[ev.Label] = true
+		}
+	}
+	for _, want := range []string{"counter claims", "barrier phase"} {
+		if !labels[want] {
+			t.Errorf("trace log missing SyncAlloc %q (events: %v)", want, labels)
+		}
+	}
+}
+
+func TestSyncAllocDoesNotDisturbGantt(t *testing.T) {
+	// SyncAlloc events are log-only: span pairing and the Gantt chart must
+	// render exactly as if they were absent.
+	e := newTestEngine(1)
+	log := trace.New(1e6)
+	e.SetTracer(log)
+	if _, err := e.Run("main", func(th *Thread) {
+		th.NewCounter("c", 0)
+		th.Compute(10)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := log.Gantt(40, 8)
+	if strings.Contains(out, "counter") {
+		t.Errorf("Gantt rendered the SyncAlloc event:\n%s", out)
+	}
+	if !strings.Contains(out, "main") {
+		t.Errorf("Gantt lost the thread row:\n%s", out)
 	}
 }

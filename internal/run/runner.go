@@ -1,0 +1,300 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/c3i/suite"
+	"repro/internal/machine"
+)
+
+// Runner executes Specs. It owns the two caches every consumer shares: the
+// memoized (and pre-warmed) scenario suites per workload×scale, and the
+// single-flight Record cache keyed by Spec.Key, so concurrent consumers that
+// need the same cell compute it exactly once. A Runner is safe for
+// concurrent use; create one per process (or per benchmark iteration, when
+// the point is to measure uncached cost).
+type Runner struct {
+	jobs   int
+	suites onceMap[[]suite.Scenario]
+	runs   onceMap[Record]
+	execs  atomic.Int64
+}
+
+// NewRunner returns a Runner whose RunAll fans out over at most jobs
+// concurrent executions; jobs < 1 means GOMAXPROCS.
+func NewRunner(jobs int) *Runner {
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{jobs: jobs}
+}
+
+// Warm generates (or returns the memoized) scenario suite for a workload at
+// a scale, with every scenario's internal caches populated so concurrent
+// runs only read shared state.
+func (r *Runner) Warm(workload string, scale float64) ([]suite.Scenario, error) {
+	if scale <= 0 {
+		w, err := suite.Lookup(workload)
+		if err != nil {
+			return nil, err
+		}
+		scale = w.DefaultScale
+	}
+	return r.suites.do(fmt.Sprintf("%s|s%g", workload, scale), func() ([]suite.Scenario, error) {
+		w, err := suite.Lookup(workload)
+		if err != nil {
+			return nil, err
+		}
+		scs := w.Generate(scale)
+		for _, sc := range scs {
+			sc.Warm()
+		}
+		return scs, nil
+	})
+}
+
+// Run executes the Spec and returns its Record, serving repeats from the
+// single-flight cache. Cancellation is checked before the engine starts; a
+// run already executing completes (the simulation is not preemptible), and
+// concurrent callers collapsed onto it receive its Record.
+func (r *Runner) Run(ctx context.Context, spec Spec) (Record, error) {
+	ns, err := spec.Normalized()
+	if err != nil {
+		return Record{}, err
+	}
+	key := ns.render()
+	for {
+		if err := ctx.Err(); err != nil {
+			return Record{}, err
+		}
+		rec, err := r.runs.do(key, func() (Record, error) {
+			return r.execute(ctx, ns)
+		})
+		// A single-flight winner whose context was cancelled fails every
+		// caller collapsed onto it with *its* context error. Errors are
+		// never memoized, so a caller whose own context is still live just
+		// tries again rather than inheriting the winner's cancellation.
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return rec, err
+	}
+}
+
+// Execute runs the Spec without consulting or populating the Record cache
+// (the scenario-suite cache is still used). Benchmarks use it to measure the
+// true per-run cost repeatedly.
+func (r *Runner) Execute(ctx context.Context, spec Spec) (Record, error) {
+	ns, err := spec.Normalized()
+	if err != nil {
+		return Record{}, err
+	}
+	return r.execute(ctx, ns)
+}
+
+// RunScenario executes the Spec's variant over explicitly supplied scenarios
+// instead of the registry-generated suite — the data tools validate
+// scenarios loaded from disk this way. Results are not cached: scenario
+// identity is not part of a Spec's Key.
+func (r *Runner) RunScenario(ctx context.Context, spec Spec, scs ...suite.Scenario) (Record, error) {
+	ns, err := spec.Normalized()
+	if err != nil {
+		return Record{}, err
+	}
+	if len(scs) == 0 {
+		return Record{}, fmt.Errorf("run: RunScenario %s: no scenarios", ns.render())
+	}
+	return r.executeOn(ctx, ns, scs)
+}
+
+// RunAll executes the Specs through a pool of at most the Runner's
+// configured jobs, returning records positionally. Once ctx is cancelled,
+// not-yet-started Specs fail fast with the context error; the returned error
+// joins every per-Spec failure, and successful entries are valid regardless.
+func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]Record, error) {
+	recs := make([]Record, len(specs))
+	errs := make([]error, len(specs))
+	jobs := r.jobs
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				recs[i], errs[i] = r.Run(ctx, specs[i])
+				if errs[i] != nil {
+					errs[i] = fmt.Errorf("spec %d (%s): %w", i, specs[i].Key(), errs[i])
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return recs, errors.Join(errs...)
+}
+
+// Executions reports how many engine runs this Runner has performed —
+// cache hits and single-flight collapses do not count. Tests and capacity
+// accounting use it.
+func (r *Runner) Executions() int64 { return r.execs.Load() }
+
+// Reset drops both caches (tests and per-iteration benchmark harnesses
+// control memory and measurement this way). In-flight computations from
+// before the reset cannot repopulate the caches.
+func (r *Runner) Reset() {
+	r.suites.reset()
+	r.runs.reset()
+}
+
+// execute runs a normalized Spec over its memoized scenario suite.
+func (r *Runner) execute(ctx context.Context, ns Spec) (Record, error) {
+	scs, err := r.Warm(ns.Workload, ns.Scale)
+	if err != nil {
+		return Record{}, err
+	}
+	return r.executeOn(ctx, ns, scs)
+}
+
+// executeOn runs a normalized Spec over the given scenarios on a fresh
+// engine and assembles the Record.
+func (r *Runner) executeOn(ctx context.Context, ns Spec, scs []suite.Scenario) (Record, error) {
+	if err := ctx.Err(); err != nil {
+		return Record{}, err
+	}
+	w, err := suite.Lookup(ns.Workload)
+	if err != nil {
+		return Record{}, err
+	}
+	v, err := w.Variant(ns.Variant)
+	if err != nil {
+		return Record{}, err
+	}
+	newEngine, err := ns.engine()
+	if err != nil {
+		return Record{}, err
+	}
+	p := ns.Params
+	if ns.Validate {
+		p = p.Merged(nil) // copy before inserting the reserved param
+		p[suite.ValidateParam] = 1
+	}
+	key := ns.render()
+	start := time.Now()
+	r.execs.Add(1)
+	var checksum, overhead uint64
+	res, err := newEngine().Run(key, func(t *machine.Thread) {
+		for i, sc := range scs {
+			out := v.Run(t, sc, p)
+			if i == 0 {
+				checksum = out.Checksum
+			} else {
+				// Fold suite checksums order-sensitively (FNV-style mix) so
+				// a multi-scenario record stays a stable fingerprint while a
+				// single-scenario record keeps the scenario's own checksum.
+				checksum = (checksum ^ out.Checksum) * 1099511628211
+			}
+			if out.OverheadBytes > overhead {
+				overhead = out.OverheadBytes
+			}
+		}
+	})
+	if err != nil {
+		return Record{}, fmt.Errorf("run: %s: %w", key, err)
+	}
+	return Record{
+		Spec:          ns,
+		Key:           key,
+		ModelSeconds:  res.Seconds,
+		PaperSeconds:  res.Seconds * w.Norm(scs),
+		Checksum:      Checksum(checksum),
+		OverheadBytes: overhead,
+		Stats:         res.Stats,
+		HostElapsed:   time.Since(start),
+	}, nil
+}
+
+// --- Single-flight memoization ----------------------------------------------
+
+// onceMap memoizes expensive computations by key and collapses concurrent
+// calls for the same key into one execution. reset advances a generation so
+// computations started before a reset cannot repopulate the post-reset maps.
+// (Lifted from internal/experiments, which now consumes it through Runner.)
+type onceMap[T any] struct {
+	mu       sync.Mutex
+	gen      int
+	done     map[string]T
+	inflight map[string]*onceCall[T]
+}
+
+type onceCall[T any] struct {
+	ready chan struct{}
+	val   T
+	err   error
+}
+
+// initLocked lazily allocates the maps; callers hold mu.
+func (m *onceMap[T]) initLocked() {
+	if m.done == nil {
+		m.done = map[string]T{}
+	}
+	if m.inflight == nil {
+		m.inflight = map[string]*onceCall[T]{}
+	}
+}
+
+func (m *onceMap[T]) do(key string, fn func() (T, error)) (T, error) {
+	m.mu.Lock()
+	m.initLocked()
+	if v, ok := m.done[key]; ok {
+		m.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := m.inflight[key]; ok {
+		m.mu.Unlock()
+		<-c.ready
+		return c.val, c.err
+	}
+	c := &onceCall[T]{ready: make(chan struct{})}
+	m.inflight[key] = c
+	gen := m.gen
+	m.mu.Unlock()
+
+	c.val, c.err = fn()
+	m.mu.Lock()
+	// A reset during the computation dropped this call from inflight and
+	// invalidated its result; only same-generation results are memoized.
+	if m.gen == gen {
+		if c.err == nil {
+			m.done[key] = c.val
+		}
+		delete(m.inflight, key)
+	}
+	m.mu.Unlock()
+	close(c.ready)
+	return c.val, c.err
+}
+
+func (m *onceMap[T]) reset() {
+	m.mu.Lock()
+	m.gen++
+	m.done = map[string]T{}
+	m.inflight = map[string]*onceCall[T]{}
+	m.mu.Unlock()
+}

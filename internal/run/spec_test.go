@@ -1,0 +1,192 @@
+package run
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/c3i/suite"
+	_ "repro/internal/c3i/threat" // register a real workload for normalization tests
+)
+
+func TestSpecKeyCanonicalization(t *testing.T) {
+	// A Spec that spells out the variant defaults and one that relies on
+	// merging must share one canonical key.
+	implicit := Spec{Workload: "threat-analysis", Variant: "coarse", Platform: "tera", Procs: 2}
+	explicit := Spec{
+		Workload: "threat-analysis", Variant: "coarse", Platform: "tera", Procs: 2,
+		Scale:  0.25, // the registered default
+		Params: suite.Params{"chunks": 16, "pipelined": 0},
+	}
+	if implicit.Key() != explicit.Key() {
+		t.Errorf("keys differ:\n  implicit %s\n  explicit %s", implicit.Key(), explicit.Key())
+	}
+	// Overriding one param changes the key; param insertion order cannot
+	// matter because rendering sorts.
+	other := explicit
+	other.Params = suite.Params{"pipelined": 0, "chunks": 256}
+	if other.Key() == explicit.Key() {
+		t.Error("different chunk counts rendered the same key")
+	}
+	if !strings.Contains(other.Key(), "chunks=256,pipelined=0") {
+		t.Errorf("key params not sorted: %s", other.Key())
+	}
+}
+
+func TestSpecKeyFoldsValidateParam(t *testing.T) {
+	viaParam := Spec{Workload: "threat-analysis", Variant: "sequential", Platform: "alpha", Procs: 1,
+		Params: suite.Params{suite.ValidateParam: 1}}
+	viaField := Spec{Workload: "threat-analysis", Variant: "sequential", Platform: "alpha", Procs: 1,
+		Validate: true}
+	if viaParam.Key() != viaField.Key() {
+		t.Errorf("validate spellings diverge:\n  param %s\n  field %s", viaParam.Key(), viaField.Key())
+	}
+	ns, err := viaParam.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ns.Validate {
+		t.Error("validate param did not fold into the Validate flag")
+	}
+	if _, ok := ns.Params[suite.ValidateParam]; ok {
+		t.Error("reserved validate param left inside normalized Params")
+	}
+}
+
+func TestNetOverridesCanonicalize(t *testing.T) {
+	plain := Spec{Workload: "threat-analysis", Variant: "coarse", Platform: "tera", Procs: 2}
+	// Spelling out the calibrated defaults describes the identical engine,
+	// so it must collapse to the no-override Key.
+	explicit := plain
+	explicit.NetLatencyMult, explicit.NetBandwidthEff = 1.7, 0.75
+	if explicit.Key() != plain.Key() {
+		t.Errorf("explicit default network factors render a distinct key:\n  %s\n  %s",
+			explicit.Key(), plain.Key())
+	}
+	// A partial override fills the other factor from the defaults, so the
+	// two spellings of that run share one key too.
+	partial := plain
+	partial.NetLatencyMult = 1.4
+	full := plain
+	full.NetLatencyMult, full.NetBandwidthEff = 1.4, 0.75
+	if partial.Key() != full.Key() {
+		t.Errorf("partial override diverges from its filled form:\n  %s\n  %s",
+			partial.Key(), full.Key())
+	}
+	if partial.Key() == plain.Key() {
+		t.Error("a real override collapsed to the default key")
+	}
+	ns, err := partial.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.NetBandwidthEff != 0.75 {
+		t.Errorf("partial override not filled: %+v", ns)
+	}
+}
+
+func TestNormalizedIsIdempotent(t *testing.T) {
+	s := Spec{Workload: "threat-analysis", Variant: "coarse", Platform: "tera", Procs: 1,
+		Params: suite.Params{"chunks": 64}}
+	once, err := s.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := once.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once.Key() != twice.Key() || once.Scale != twice.Scale {
+		t.Errorf("normalization not idempotent: %+v vs %+v", once, twice)
+	}
+}
+
+func TestNormalizedRejectsBadSpecs(t *testing.T) {
+	good := Spec{Workload: "threat-analysis", Variant: "sequential", Platform: "alpha", Procs: 1}
+	for name, breakIt := range map[string]func(*Spec){
+		"unknown workload":         func(s *Spec) { s.Workload = "no-such-workload" },
+		"unknown variant":          func(s *Spec) { s.Variant = "turbo" },
+		"unknown platform":         func(s *Spec) { s.Platform = "cray" },
+		"non-positive procs":       func(s *Spec) { s.Procs = 0 },
+		"net override off the MTA": func(s *Spec) { s.NetLatencyMult = 1.5 },
+	} {
+		s := good
+		breakIt(&s)
+		if _, err := s.Normalized(); err == nil {
+			t.Errorf("%s: Normalized accepted %+v", name, s)
+		}
+	}
+	if _, err := good.Normalized(); err != nil {
+		t.Errorf("baseline spec rejected: %v", err)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := Spec{
+		Workload: "threat-analysis", Variant: "coarse", Platform: "tera", Procs: 2,
+		Scale: 0.1, Params: suite.Params{"chunks": 256}, Validate: true,
+		NetLatencyMult: 1.4, NetBandwidthEff: 0.8,
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != s.Key() {
+		t.Errorf("round trip changed the key: %s vs %s", back.Key(), s.Key())
+	}
+	if back.Params["chunks"] != 256 || !back.Validate || back.NetBandwidthEff != 0.8 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestChecksumJSONIsHexString(t *testing.T) {
+	// JSON numbers cannot carry a full uint64; checksums must travel as hex
+	// strings and survive the round trip bit-exactly.
+	c := Checksum(0xdeadbeefcafef00d)
+	buf, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != `"deadbeefcafef00d"` {
+		t.Errorf("checksum marshals as %s", buf)
+	}
+	var back Checksum
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Errorf("round trip %016x != %016x", uint64(back), uint64(c))
+	}
+	if err := json.Unmarshal([]byte(`"not hex"`), &back); err == nil {
+		t.Error("garbage checksum accepted")
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	rec := Record{
+		Spec:          Spec{Workload: "threat-analysis", Variant: "sequential", Platform: "alpha", Procs: 1, Scale: 0.25},
+		Key:           "threat-analysis|sequential|alpha|p1|s0.25|pipelined=0",
+		ModelSeconds:  1.25,
+		PaperSeconds:  12.5,
+		Checksum:      Checksum(0xffffffffffffffff),
+		OverheadBytes: 4096,
+	}
+	rec.Stats.Ops = 1000
+	rec.Stats.ProcUtil = []float64{0.5}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Checksum != rec.Checksum || back.ModelSeconds != rec.ModelSeconds ||
+		back.Key != rec.Key || back.Stats.Ops != 1000 || back.Stats.ProcUtil[0] != 0.5 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}

@@ -24,6 +24,10 @@ const (
 	ThreadEnd
 	// Mark is a user-placed phase annotation.
 	Mark
+	// SyncAlloc records a named synchronization primitive being created
+	// (counter, barrier). Gantt rendering and span pairing ignore it; it is
+	// in the log so post-processors can attribute sync traffic by name.
+	SyncAlloc
 )
 
 // Event is one timeline record.
