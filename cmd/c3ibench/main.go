@@ -18,24 +18,33 @@
 //	c3ibench -run table5 -json     # machine-readable run records (CI artifact)
 //	c3ibench -scale-ta 0.5 ...     # bigger Threat Analysis workload
 //	c3ibench -scale-ro 1 ...       # full Route Optimization workload
+//	c3ibench -all -remote http://host:8642
+//	                               # same tables, Specs executed by a c3iserve
+//	                               # process (and its record store) instead of
+//	                               # in-process
 //
 // Results always print in the requested order, whatever -jobs is. The exit
 // status is non-zero if any requested experiment ID is unknown or any
 // experiment fails; the remaining experiments still run, so one broken table
-// does not hide the rest of an -all sweep. Invalid flag values (a
-// non-positive -jobs or -scale-*) are usage errors: exit 2, naming the flag.
+// does not hide the rest of an -all sweep. In -json mode the emitted envelope
+// carries an explicit `failed` manifest naming those experiments, so a
+// consumer gating on the artifact can tell a complete sweep from a partial
+// one. Invalid flag values (a non-positive -jobs or -scale-*) are usage
+// errors: exit 2, naming the flag.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/c3i/suite"
 	"repro/internal/experiments"
 	"repro/internal/run"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -47,6 +56,7 @@ func main() {
 		md      = flag.Bool("md", false, "emit Markdown instead of ASCII tables")
 		jsonOut = flag.Bool("json", false, "emit the raw run records as JSON instead of rendered tables/figures")
 		text    = flag.Bool("text", true, "include free-text output (compiler feedback)")
+		remote  = flag.String("remote", "", "execute run Specs against a c3iserve endpoint (base URL) instead of in-process")
 	)
 	// One scale flag per registered workload: -scale-ta, -scale-tm, ...
 	scales := map[string]*float64{}
@@ -90,6 +100,9 @@ func main() {
 	for name, s := range scales {
 		cfg.Scales[name] = *s
 	}
+	if *remote != "" {
+		cfg.Executor = &serve.Client{Addr: *remote}
+	}
 
 	// Outcomes stream in request order as they (and their predecessors)
 	// finish, so serial runs report incrementally and -jobs runs print
@@ -97,9 +110,11 @@ func main() {
 	// one document once the sweep completes.
 	failures := 0
 	var recorded []run.ExperimentRecords
+	var failed []run.ExperimentFailure
 	experiments.RunEach(ids, cfg, *jobs, func(oc experiments.Outcome) {
 		if oc.Err != nil {
 			fmt.Fprintf(os.Stderr, "c3ibench: %s: %v\n", oc.Experiment.ID, oc.Err)
+			failed = append(failed, run.ExperimentFailure{Experiment: oc.Experiment.ID, Error: oc.Err.Error()})
 			failures++
 			return
 		}
@@ -130,14 +145,11 @@ func main() {
 	if *jsonOut {
 		// Emit whatever completed even when some experiments failed — the
 		// same partial-failure contract as the rendered-table mode, with
-		// the exit status still reporting the failures. An all-failed
-		// sweep emits an empty array, which stays valid JSON downstream.
-		if recorded == nil {
-			recorded = []run.ExperimentRecords{}
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(recorded); err != nil {
+		// the exit status still reporting the failures — but the envelope
+		// names the failed experiments explicitly, so a consumer gating on
+		// this artifact (the CI model_s step) can reject an incomplete
+		// sweep instead of silently accepting whatever subset succeeded.
+		if err := writeRecordSet(os.Stdout, recorded, failed); err != nil {
 			fmt.Fprintf(os.Stderr, "c3ibench: encoding records: %v\n", err)
 			os.Exit(1)
 		}
@@ -146,6 +158,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c3ibench: %d of %d requested experiments failed\n", failures, len(ids))
 		os.Exit(1)
 	}
+}
+
+// writeRecordSet emits the -json envelope: completed experiments plus the
+// explicit failure manifest, with both arrays always present (empty, never
+// null) so downstream jq gates can check `.failed == []` directly.
+func writeRecordSet(w io.Writer, recorded []run.ExperimentRecords, failed []run.ExperimentFailure) error {
+	set := run.RecordSet{Experiments: recorded, Failed: failed}
+	set.Canonicalize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(set)
 }
 
 // printList renders the full registered surface: every workload with its

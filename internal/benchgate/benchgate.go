@@ -20,6 +20,7 @@ package benchgate
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/run"
 )
@@ -86,13 +88,34 @@ func Parse(r io.Reader) (*Report, error) {
 // each record's canonical key mapped to its paper-scale simulated seconds.
 // Records repeated across experiments (shared cells) carry identical values,
 // so duplicates are harmless.
+//
+// The input is the RecordSet envelope, whose failure manifest is enforced
+// here: an artifact that names failed experiments is rejected outright, so
+// the gate can never silently compare against an incomplete sweep (the bare
+// pre-envelope array form is still accepted for old artifacts).
 func ParseRecords(r io.Reader) (map[string]float64, error) {
-	var experiments []run.ExperimentRecords
-	if err := json.NewDecoder(r).Decode(&experiments); err != nil {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: reading run records: %w", err)
+	}
+	var set run.RecordSet
+	if trimmed := bytes.TrimSpace(buf); len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(buf, &set.Experiments); err != nil {
+			return nil, fmt.Errorf("benchgate: decoding run records: %w", err)
+		}
+	} else if err := json.Unmarshal(buf, &set); err != nil {
 		return nil, fmt.Errorf("benchgate: decoding run records: %w", err)
 	}
+	if len(set.Failed) > 0 {
+		names := make([]string, len(set.Failed))
+		for i, f := range set.Failed {
+			names[i] = f.Experiment
+		}
+		return nil, fmt.Errorf("benchgate: records artifact is incomplete: %d failed experiment(s): %s",
+			len(set.Failed), strings.Join(names, ", "))
+	}
 	ms := map[string]float64{}
-	for _, ex := range experiments {
+	for _, ex := range set.Experiments {
 		for _, rec := range ex.Records {
 			if rec.Key == "" {
 				return nil, fmt.Errorf("benchgate: record without a key in experiment %s", ex.Experiment)

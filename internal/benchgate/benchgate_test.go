@@ -18,9 +18,13 @@ PASS
 ok  	repro	12.345s
 `
 
-// sampleRecords is a `c3ibench -json` document with two run records (the
+// sampleRecords is a `c3ibench -json` envelope with two run records (the
 // shape the bench CI job pipes into -records).
-const sampleRecords = `[
+const sampleRecords = `{"experiments": ` + sampleExperiments + `, "failed": []}`
+
+// sampleExperiments is the experiments array — also the whole document in
+// the pre-envelope format old artifacts use.
+const sampleExperiments = `[
   {
     "experiment": "table5",
     "title": "Multithreaded Threat Analysis on dual-processor Tera MTA",
@@ -116,8 +120,44 @@ func TestParseRecordsRejectsGarbage(t *testing.T) {
 	if _, err := ParseRecords(strings.NewReader("[]")); err == nil {
 		t.Error("empty records accepted")
 	}
+	if _, err := ParseRecords(strings.NewReader(`{"experiments": [], "failed": []}`)); err == nil {
+		t.Error("empty envelope accepted")
+	}
 	if _, err := ParseRecords(strings.NewReader("{not json")); err == nil {
 		t.Error("malformed records accepted")
+	}
+	if _, err := ParseRecords(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestParseRecordsAcceptsLegacyArray(t *testing.T) {
+	// Pre-envelope artifacts are a bare experiments array; they must keep
+	// parsing so committed baselines do not need regeneration in lockstep.
+	ms, err := ParseRecords(strings.NewReader(sampleExperiments))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Errorf("legacy array parsed %d entries, want 2", len(ms))
+	}
+}
+
+func TestParseRecordsRejectsIncompleteSweep(t *testing.T) {
+	// An envelope whose failure manifest is non-empty must not gate: the
+	// missing experiments' records would silently vanish from the model_s
+	// family and the comparison would pass on a subset.
+	in := `{"experiments": ` + sampleExperiments + `,
+	        "failed": [{"experiment": "table9", "error": "engine exploded"},
+	                   {"experiment": "pt-streams", "error": "boom"}]}`
+	_, err := ParseRecords(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("incomplete artifact accepted")
+	}
+	for _, name := range []string{"table9", "pt-streams"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name failed experiment %s", err, name)
+		}
 	}
 }
 

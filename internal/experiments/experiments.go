@@ -41,12 +41,17 @@ const (
 	PT = "plot-track-assignment"
 )
 
-// Config controls workload sizes for one experiment run.
+// Config controls workload sizes and execution placement for one experiment
+// run.
 type Config struct {
 	// Scales maps a registered workload name to the fraction of its
 	// paper-scale workload to run; missing or non-positive entries fall
 	// back to the workload's registered default.
 	Scales map[string]float64
+	// Executor, when non-nil, executes every declared Spec — e.g. a
+	// serve.Client pointing at a c3iserve process (`c3ibench -remote`).
+	// Nil means the package's shared in-process Runner.
+	Executor run.Executor
 }
 
 // DefaultConfig takes every registered workload at its registered default
@@ -90,7 +95,7 @@ type Result struct {
 type Exec struct {
 	Cfg    Config
 	ctx    context.Context
-	runner *run.Runner
+	runner run.Executor
 
 	mu      sync.Mutex
 	records []run.Record
@@ -147,7 +152,11 @@ func (e Experiment) RunContext(ctx context.Context, cfg Config) (*Result, error)
 	if e.body == nil {
 		return nil, fmt.Errorf("experiments: experiment %q has no body", e.ID)
 	}
-	x := &Exec{Cfg: cfg, ctx: ctx, runner: sharedRunner}
+	executor := cfg.Executor
+	if executor == nil {
+		executor = sharedRunner
+	}
+	x := &Exec{Cfg: cfg, ctx: ctx, runner: executor}
 	res, err := e.body(x)
 	if err != nil {
 		return nil, err

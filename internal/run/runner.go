@@ -13,6 +13,15 @@ import (
 	"repro/internal/machine"
 )
 
+// Executor executes Specs into Records — the consumer-facing face of the
+// run API. The local *Runner implements it; so does serve.Client, which
+// forwards Specs to a c3iserve process, so any consumer written against
+// Executor (the experiment tables, `c3ibench -remote`) runs locally or
+// remotely unchanged.
+type Executor interface {
+	Run(ctx context.Context, spec Spec) (Record, error)
+}
+
 // Runner executes Specs. It owns the two caches every consumer shares: the
 // memoized (and pre-warmed) scenario suites per workload×scale, and the
 // single-flight Record cache keyed by Spec.Key, so concurrent consumers that
@@ -24,6 +33,10 @@ type Runner struct {
 	suites onceMap[[]suite.Scenario]
 	runs   onceMap[Record]
 	execs  atomic.Int64
+
+	storeMu   sync.RWMutex
+	store     Store
+	storeErrs atomic.Int64
 }
 
 // NewRunner returns a Runner whose RunAll fans out over at most jobs
@@ -34,6 +47,32 @@ func NewRunner(jobs int) *Runner {
 	}
 	return &Runner{jobs: jobs}
 }
+
+// SetStore layers a persistent Record store under the in-memory
+// single-flight cache: a cache miss consults the store before executing, and
+// a freshly computed Record is saved back. Load and Save run inside the
+// single-flight critical section, so one key is probed and written at most
+// once per process even under concurrent identical batches, and a store hit
+// never counts as an engine execution. Save failures do not fail the run —
+// persistence degrades to recomputation — but are counted for StoreErrors.
+// A nil store detaches persistence again.
+func (r *Runner) SetStore(s Store) {
+	r.storeMu.Lock()
+	r.store = s
+	r.storeMu.Unlock()
+}
+
+// getStore returns the currently attached store, if any.
+func (r *Runner) getStore() Store {
+	r.storeMu.RLock()
+	defer r.storeMu.RUnlock()
+	return r.store
+}
+
+// StoreErrors reports how many store Save calls have failed so far — the
+// serving layer's health endpoint surfaces it, since a store that silently
+// stopped persisting turns every restart into a cold start.
+func (r *Runner) StoreErrors() int64 { return r.storeErrs.Load() }
 
 // Warm generates (or returns the memoized) scenario suite for a workload at
 // a scale, with every scenario's internal caches populated so concurrent
@@ -69,19 +108,45 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (Record, error) {
 		return Record{}, err
 	}
 	key := ns.render()
-	for {
+	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return Record{}, err
 		}
 		rec, err := r.runs.do(key, func() (Record, error) {
-			return r.execute(ctx, ns)
+			if s := r.getStore(); s != nil {
+				if rec, ok := s.Load(key); ok {
+					return rec, nil
+				}
+			}
+			rec, err := r.execute(ctx, ns)
+			if err == nil {
+				if s := r.getStore(); s != nil {
+					if serr := s.Save(rec); serr != nil {
+						r.storeErrs.Add(1)
+					}
+				}
+			}
+			return rec, err
 		})
 		// A single-flight winner whose context was cancelled fails every
 		// caller collapsed onto it with *its* context error. Errors are
-		// never memoized, so a caller whose own context is still live just
-		// tries again rather than inheriting the winner's cancellation.
+		// never memoized, so a caller whose own context is still live tries
+		// again rather than inheriting the winner's cancellation — but only
+		// after yielding: a fresh caller that keeps collapsing onto winners
+		// cancelled just after they start would otherwise hot-spin on the
+		// scheduler instead of letting a live winner get going. Repeat
+		// losses back off a little (capped), bounding the retry rate even
+		// when every winner keeps dying immediately.
 		if err != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			runtime.Gosched()
+			if attempt > 0 {
+				backoff := time.Duration(attempt) * 100 * time.Microsecond
+				if backoff > 5*time.Millisecond {
+					backoff = 5 * time.Millisecond
+				}
+				time.Sleep(backoff)
+			}
 			continue
 		}
 		return rec, err
@@ -119,6 +184,11 @@ func (r *Runner) RunScenario(ctx context.Context, spec Spec, scs ...suite.Scenar
 // not-yet-started Specs fail fast with the context error; the returned error
 // joins every per-Spec failure, and successful entries are valid regardless.
 func (r *Runner) RunAll(ctx context.Context, specs []Spec) ([]Record, error) {
+	if len(specs) == 0 {
+		// Nothing to do — and nothing to spawn: the worker clamp below
+		// would otherwise start one goroutine just to drain an empty feed.
+		return nil, nil
+	}
 	recs := make([]Record, len(specs))
 	errs := make([]error, len(specs))
 	jobs := r.jobs

@@ -18,7 +18,6 @@ package run
 import (
 	"encoding/json"
 	"fmt"
-	"strconv"
 	"time"
 
 	"repro/internal/c3i/suite"
@@ -167,15 +166,30 @@ func (c Checksum) MarshalJSON() ([]byte, error) {
 	return json.Marshal(fmt.Sprintf("%016x", uint64(c)))
 }
 
-// UnmarshalJSON parses the quoted hex form.
+// UnmarshalJSON parses the quoted hex form. Only the canonical encoding
+// MarshalJSON emits — exactly 16 lowercase hex digits — is accepted:
+// strconv-style relaxed parsing (a leading "+", short widths, uppercase)
+// would let byte-different artifacts decode to the same checksum value, and
+// a checksum that compares equal for different spellings is no checksum.
 func (c *Checksum) UnmarshalJSON(b []byte) error {
 	var s string
 	if err := json.Unmarshal(b, &s); err != nil {
 		return fmt.Errorf("run: checksum: %w", err)
 	}
-	v, err := strconv.ParseUint(s, 16, 64)
-	if err != nil {
-		return fmt.Errorf("run: checksum %q: %w", s, err)
+	if len(s) != 16 {
+		return fmt.Errorf("run: checksum %q: need exactly 16 lowercase hex digits", s)
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		d := s[i]
+		switch {
+		case d >= '0' && d <= '9':
+			v = v<<4 | uint64(d-'0')
+		case d >= 'a' && d <= 'f':
+			v = v<<4 | uint64(d-'a'+10)
+		default:
+			return fmt.Errorf("run: checksum %q: need exactly 16 lowercase hex digits", s)
+		}
 	}
 	*c = Checksum(v)
 	return nil
@@ -216,4 +230,34 @@ type ExperimentRecords struct {
 	Title      string   `json:"title"`
 	ElapsedS   float64  `json:"elapsed_s"`
 	Records    []Record `json:"records"`
+}
+
+// ExperimentFailure names one requested experiment that produced no records,
+// and why — the failure manifest entry of `c3ibench -json`.
+type ExperimentFailure struct {
+	Experiment string `json:"experiment"`
+	Error      string `json:"error"`
+}
+
+// RecordSet is the envelope `c3ibench -json` emits: every experiment that
+// completed, plus an explicit manifest of the ones that failed. A consumer
+// gating on the artifact (the CI model_s family) can therefore tell a
+// complete sweep from a partial one instead of silently accepting whatever
+// subset happened to succeed. Both slices are present in the JSON even when
+// empty (`[]`, never `null`), so `jq '.failed == []'` is a complete-sweep
+// check.
+type RecordSet struct {
+	Experiments []ExperimentRecords `json:"experiments"`
+	Failed      []ExperimentFailure `json:"failed"`
+}
+
+// Canonicalize replaces nil slices with empty ones so the envelope always
+// serializes its arrays explicitly.
+func (rs *RecordSet) Canonicalize() {
+	if rs.Experiments == nil {
+		rs.Experiments = []ExperimentRecords{}
+	}
+	if rs.Failed == nil {
+		rs.Failed = []ExperimentFailure{}
+	}
 }

@@ -166,6 +166,67 @@ func TestChecksumJSONIsHexString(t *testing.T) {
 	}
 }
 
+func TestChecksumUnmarshalRejectsNonCanonicalHex(t *testing.T) {
+	// Only the exact encoding MarshalJSON produces — 16 lowercase hex digits
+	// — may decode. Relaxed parsing would let byte-different artifacts (a
+	// leading "+", a shorter width, uppercase) collide onto one value.
+	for _, tc := range []struct {
+		name, in string
+	}{
+		{"leading plus", `"+eadbeefcafef00d"`},
+		{"leading plus full width", `"+deadbeefcafef00d"`},
+		{"too short", `"deadbeef"`},
+		{"15 digits", `"eadbeefcafef00d"`},
+		{"17 digits", `"0deadbeefcafef00d"`},
+		{"uppercase", `"DEADBEEFCAFEF00D"`},
+		{"mixed case", `"deadBEEFcafef00d"`},
+		{"0x prefix", `"0xdeadbeefcafef0"`},
+		{"embedded space", `"deadbeef cafef00"`},
+		{"underscores", `"dead_beefcafef00"`},
+		{"empty", `""`},
+		{"number not string", `123456`},
+	} {
+		var c Checksum
+		if err := json.Unmarshal([]byte(tc.in), &c); err == nil {
+			t.Errorf("%s: checksum %s accepted as %016x", tc.name, tc.in, uint64(c))
+		}
+	}
+	// The canonical form still round-trips, all-digits and all-letters alike.
+	for _, in := range []string{`"0000000000000000"`, `"ffffffffffffffff"`, `"0123456789abcdef"`} {
+		var c Checksum
+		if err := json.Unmarshal([]byte(in), &c); err != nil {
+			t.Errorf("canonical checksum %s rejected: %v", in, err)
+		}
+	}
+}
+
+func TestRecordSetCanonicalize(t *testing.T) {
+	// The envelope's arrays must serialize as [] even when empty, so jq
+	// consumers can gate on `.failed == []` without null-checks.
+	var rs RecordSet
+	rs.Canonicalize()
+	buf, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"experiments":[],"failed":[]}`
+	if string(buf) != want {
+		t.Errorf("empty RecordSet marshals as %s, want %s", buf, want)
+	}
+	rs.Failed = append(rs.Failed, ExperimentFailure{Experiment: "table9", Error: "boom"})
+	buf, err = json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RecordSet
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Failed) != 1 || back.Failed[0].Experiment != "table9" || back.Failed[0].Error != "boom" {
+		t.Errorf("failure manifest lost in round trip: %+v", back.Failed)
+	}
+}
+
 func TestRecordJSONRoundTrip(t *testing.T) {
 	rec := Record{
 		Spec:          Spec{Workload: "threat-analysis", Variant: "sequential", Platform: "alpha", Procs: 1, Scale: 0.25},

@@ -1,0 +1,121 @@
+package run
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a persistent Record cache keyed by the canonical Spec key.
+// Layered under a Runner's in-memory single-flight cache (SetStore), it lets
+// Records outlive the process: a serving layer restarted against the same
+// store answers previously computed Specs without touching an engine.
+type Store interface {
+	// Load returns the stored Record for a canonical Spec key. A missing,
+	// unreadable or corrupted entry reports ok == false — persistence
+	// problems degrade to recomputation, never to request failure.
+	Load(key string) (rec Record, ok bool)
+	// Save persists a freshly computed Record under its Key.
+	Save(rec Record) error
+}
+
+// DiskStore is a Store backed by one JSON file per Record under a single
+// directory: <dir>/<sha256(key) hex>.json, holding exactly the Record JSON
+// that travels over the wire. Keys are hashed because canonical Spec keys
+// contain separators ("|", "/", "=") that are not filename-safe; the Record
+// inside carries its own Key, which Load verifies, so a foreign or stale
+// file can never satisfy the wrong Spec. Writes go to a temp file in the
+// same directory and rename into place, so a reader (or a crash mid-write)
+// never observes a partial record — and a truncated or hand-garbled entry is
+// simply treated as a miss and recomputed, never a failure.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if needed) a record store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("run: record store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// path maps a canonical Spec key to its record file.
+func (d *DiskStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Load implements Store. Every failure mode — no file, unreadable file,
+// invalid JSON (including a non-canonical checksum, which Record's decoder
+// rejects), or a record whose embedded Key disagrees with the requested one
+// — is a miss, so corruption costs a recomputation, not an outage.
+func (d *DiskStore) Load(key string) (Record, bool) {
+	buf, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return Record{}, false
+	}
+	if rec.Key != key {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Save implements Store: marshal, write to a temp file in the store
+// directory, fsync-free rename into place (rename within one directory is
+// atomic on POSIX, so concurrent writers of the same key race benignly —
+// both files hold the same deterministic record).
+func (d *DiskStore) Save(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("run: record store: refusing to save a record without a key")
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("run: record store: %w", err)
+	}
+	tmp, err := os.CreateTemp(d.dir, ".rec-*.tmp")
+	if err != nil {
+		return fmt.Errorf("run: record store: %w", err)
+	}
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("run: record store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("run: record store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(rec.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("run: record store: %w", err)
+	}
+	return nil
+}
+
+// Len counts the records currently on disk (health and ops reporting;
+// leftover temp files are not records and are not counted).
+func (d *DiskStore) Len() int {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package run
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func storeSpec(work int) Spec {
+	s := hookSpec(work)
+	s.Validate = true
+	return s
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	st, err := NewDiskStore(filepath.Join(t.TempDir(), "records"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		Spec:         Spec{Workload: "run-hook", Variant: "sequential", Platform: "alpha", Procs: 1, Scale: 1},
+		Key:          "run-hook|sequential|alpha|p1|s1|work=100",
+		ModelSeconds: 1.5, PaperSeconds: 1.5, Checksum: Checksum(0xdeadbeefcafef00d),
+	}
+	if _, ok := st.Load(rec.Key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := st.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Load(rec.Key)
+	if !ok {
+		t.Fatal("saved record not loadable")
+	}
+	if got.Key != rec.Key || got.ModelSeconds != rec.ModelSeconds || got.Checksum != rec.Checksum {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+	// Overwrite is allowed and keeps one file per key.
+	rec.ModelSeconds = 2.5
+	if err := st.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.Load(rec.Key); got.ModelSeconds != 2.5 {
+		t.Errorf("overwrite not visible: %+v", got)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len after overwrite = %d, want 1", st.Len())
+	}
+	if err := st.Save(Record{}); err == nil {
+		t.Error("record without a key accepted")
+	}
+}
+
+func TestDiskStoreCorruptionIsAMiss(t *testing.T) {
+	st, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Key: "some|key", ModelSeconds: 1}
+	if err := st.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	path := st.path(rec.Key)
+	for name, garble := range map[string][]byte{
+		"truncated":     []byte(`{"key": "some|key", "model_`),
+		"not json":      []byte("!! not a record !!"),
+		"empty":         {},
+		"wrong key":     []byte(`{"key": "other|key", "model_seconds": 1}`),
+		"bad checksum":  []byte(`{"key": "some|key", "checksum": "+eadbeefcafef00d"}`),
+		"json but null": []byte("null"),
+	} {
+		if err := os.WriteFile(path, garble, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.Load(rec.Key); ok {
+			t.Errorf("%s: corrupted entry served as a hit", name)
+		}
+	}
+	// A good record written over the corruption is served again.
+	if err := st.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Load(rec.Key); !ok {
+		t.Error("recovered entry not served")
+	}
+}
+
+func TestRunnerStoreLayering(t *testing.T) {
+	setHook(nil)
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// First process: computes and persists.
+	r1 := NewRunner(0)
+	r1.SetStore(st)
+	rec1, err := r1.Run(ctx, storeSpec(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Executions() != 1 {
+		t.Fatalf("executions = %d, want 1", r1.Executions())
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records after one run, want 1", st.Len())
+	}
+
+	// "Second process" (a fresh Runner on the same store): served from disk,
+	// no engine execution, identical record including the original host cost.
+	r2 := NewRunner(0)
+	r2.SetStore(st)
+	rec2, err := r2.Run(ctx, storeSpec(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Executions() != 0 {
+		t.Errorf("store-served run executed the engine %d times", r2.Executions())
+	}
+	if rec2.Key != rec1.Key || rec2.ModelSeconds != rec1.ModelSeconds ||
+		rec2.Checksum != rec1.Checksum || rec2.HostElapsed != rec1.HostElapsed {
+		t.Errorf("store round trip diverged:\n  %+v\n  %+v", rec1, rec2)
+	}
+
+	// Corrupt the entry: a third process recomputes instead of crashing, and
+	// heals the store.
+	var files []string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) != 1 {
+		t.Fatalf("store layout: %d record files, want 1", len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewRunner(0)
+	r3.SetStore(st)
+	rec3, err := r3.Run(ctx, storeSpec(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Executions() != 1 {
+		t.Errorf("corrupted entry did not trigger recompute: %d executions", r3.Executions())
+	}
+	if rec3.ModelSeconds != rec1.ModelSeconds || rec3.Checksum != rec1.Checksum {
+		t.Errorf("recomputed record diverged: %+v vs %+v", rec3, rec1)
+	}
+	if _, ok := st.Load(rec1.Key); !ok {
+		t.Error("recompute did not heal the corrupted store entry")
+	}
+
+	// Execute (the benchmark path) bypasses the store entirely in both
+	// directions.
+	execs := r3.Executions()
+	if _, err := r3.Execute(ctx, storeSpec(400)); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Executions() != execs+1 {
+		t.Error("Execute consulted the store")
+	}
+}
+
+// failingStore returns errors from Save — the Runner must still answer.
+type failingStore struct{}
+
+func (failingStore) Load(string) (Record, bool) { return Record{}, false }
+func (failingStore) Save(Record) error          { return os.ErrPermission }
+
+func TestRunnerStoreSaveFailureIsNonFatal(t *testing.T) {
+	setHook(nil)
+	r := NewRunner(0)
+	r.SetStore(failingStore{})
+	rec, err := r.Run(context.Background(), storeSpec(500))
+	if err != nil {
+		t.Fatalf("run failed because the store could not persist: %v", err)
+	}
+	if rec.ModelSeconds <= 0 {
+		t.Errorf("record empty: %+v", rec)
+	}
+	if r.StoreErrors() != 1 {
+		t.Errorf("StoreErrors = %d, want 1", r.StoreErrors())
+	}
+}
+
+func TestRunAllEmpty(t *testing.T) {
+	r := NewRunner(4)
+	recs, err := r.RunAll(context.Background(), nil)
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty RunAll = %v, %v", recs, err)
+	}
+	recs, err = r.RunAll(context.Background(), []Spec{})
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty-slice RunAll = %v, %v", recs, err)
+	}
+	if r.Executions() != 0 {
+		t.Errorf("empty RunAll executed something: %d", r.Executions())
+	}
+}

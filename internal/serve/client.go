@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/run"
+)
+
+// Client executes Specs against a c3iserve endpoint. It implements
+// run.Executor, so anything written against that interface — the experiment
+// tables via `c3ibench -remote`, most usefully — runs remotely unchanged,
+// and the Records that come back are the same bytes the server computed
+// (same Key, ModelSeconds, Checksum: floats and checksums survive the JSON
+// round trip exactly).
+type Client struct {
+	// Addr is the server base URL ("http://host:port").
+	Addr string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// Run executes one Spec remotely (a batch of one).
+func (c *Client) Run(ctx context.Context, spec run.Spec) (run.Record, error) {
+	recs, err := c.RunAll(ctx, []run.Spec{spec})
+	if err != nil {
+		return run.Record{}, err
+	}
+	return recs[0], nil
+}
+
+// RunBatch executes a Spec batch remotely and returns the server's
+// positional response verbatim: Records[i]/Errors[i] describe specs[i], with
+// failed specs left as null records. The error covers transport and protocol
+// problems only — per-spec failures live in the response.
+func (c *Client) RunBatch(ctx context.Context, specs []run.Spec) (BatchResponse, error) {
+	body, err := json.Marshal(specs)
+	if err != nil {
+		return BatchResponse{}, fmt.Errorf("serve: encoding batch: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Addr+RunPath, bytes.NewReader(body))
+	if err != nil {
+		return BatchResponse{}, fmt.Errorf("serve: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return BatchResponse{}, fmt.Errorf("serve: %s: %w", c.Addr, err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return BatchResponse{}, fmt.Errorf("serve: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er ErrorResponse
+		if json.Unmarshal(buf, &er) == nil && er.Error != "" {
+			return BatchResponse{}, fmt.Errorf("serve: %s: %s", resp.Status, er.Error)
+		}
+		return BatchResponse{}, fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(buf))
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(buf, &br); err != nil {
+		return BatchResponse{}, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	if len(br.Records) != len(specs) || len(br.Errors) != len(specs) {
+		return BatchResponse{}, fmt.Errorf("serve: response not positional: %d records / %d errors for %d specs",
+			len(br.Records), len(br.Errors), len(specs))
+	}
+	return br, nil
+}
+
+// RunAll executes a Spec batch remotely and returns records positionally,
+// mirroring run.Runner.RunAll: the returned error joins every per-spec
+// failure, and successful entries are valid regardless.
+func (c *Client) RunAll(ctx context.Context, specs []run.Spec) ([]run.Record, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	br, err := c.RunBatch(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]run.Record, len(specs))
+	errs := make([]error, len(specs))
+	for i := range specs {
+		switch {
+		case br.Errors[i] != "":
+			errs[i] = fmt.Errorf("spec %d (%s): %s", i, specs[i].Key(), br.Errors[i])
+		case br.Records[i] == nil:
+			errs[i] = fmt.Errorf("spec %d (%s): server returned neither record nor error", i, specs[i].Key())
+		default:
+			recs[i] = *br.Records[i]
+		}
+	}
+	return recs, errors.Join(errs...)
+}
+
+// Healthz fetches the server's health counters.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Addr+HealthPath, nil)
+	if err != nil {
+		return Health{}, fmt.Errorf("serve: %w", err)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Health{}, fmt.Errorf("serve: %s: %w", c.Addr, err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("serve: decoding health: %w", err)
+	}
+	return h, nil
+}

@@ -1,0 +1,294 @@
+// Package serve exposes the run API over HTTP/JSON — the serving layer the
+// Spec→Record separation was built for. A POST to /v1/run carries a batch of
+// run.Spec values and returns positional run.Records with per-spec errors,
+// executed through one shared run.Runner; /healthz reports liveness plus the
+// runner's execution and store-failure counters, which is how a caller (or
+// the CI smoke job) asserts that a repeated batch was served from cache
+// rather than recomputed.
+//
+// Specs are dispatched with per-workload shard affinity: each workload gets
+// its own bounded worker pool, so the goroutines executing, say, Terrain
+// Masking Specs are the ones whose runner already holds that workload's
+// memoized scenario suites warm, and a batch mixing workloads fans out
+// across pools instead of serializing behind one queue. The Runner's caches
+// are process-wide either way — affinity is a throughput and warmth
+// property, not a correctness one.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"repro/internal/c3i/suite"
+	"repro/internal/run"
+)
+
+// RunPath and HealthPath are the server's endpoints.
+const (
+	RunPath    = "/v1/run"
+	HealthPath = "/healthz"
+)
+
+// MaxBatchBytes bounds a request body; a batch of Specs is small, so
+// anything bigger is a mistake or abuse, not a workload.
+const MaxBatchBytes = 8 << 20
+
+// BatchResponse answers one Spec batch positionally: Records[i] and
+// Errors[i] describe the i-th submitted Spec, and exactly one of them is set
+// (a failed Spec has a null record and a non-empty error; a successful one
+// the reverse). One bad Spec never fails its batch.
+type BatchResponse struct {
+	Records []*run.Record `json:"records"`
+	Errors  []string      `json:"errors"`
+}
+
+// ErrorResponse is the body of a non-200 answer. For a 400 caused by
+// per-element decode failures, Errors is positional over the submitted batch
+// (empty strings for the elements that were fine).
+type ErrorResponse struct {
+	Error  string   `json:"error"`
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status string `json:"status"`
+	// Executions is the runner's engine-run counter: unchanged across a
+	// repeated batch means the batch was served from cache or store.
+	Executions int64 `json:"executions"`
+	// StoreErrors counts failed record-store writes (persistence degraded).
+	StoreErrors int64 `json:"store_errors"`
+	// StoreRecords is the disk store's current record count, -1 when the
+	// server runs without a persistent store.
+	StoreRecords int `json:"store_records"`
+}
+
+// Options configures a Server.
+type Options struct {
+	// WorkersPerWorkload bounds each workload's executor pool; < 1 means
+	// GOMAXPROCS.
+	WorkersPerWorkload int
+	// Store, when non-nil, is reported in /healthz (record counts). The
+	// store must already be attached to the Runner via SetStore; the server
+	// never writes it directly.
+	Store *run.DiskStore
+}
+
+// Server is an http.Handler serving the run API. Create with New; after the
+// HTTP server has been shut down (drained), call Close to stop the worker
+// pools.
+type Server struct {
+	runner  *run.Runner
+	workers int
+	store   *run.DiskStore
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	pools  map[string]chan task
+	closed bool
+	quit   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// task is one Spec handed to a workload pool.
+type task struct {
+	ctx  context.Context
+	spec run.Spec
+	done chan taskResult
+}
+
+type taskResult struct {
+	rec run.Record
+	err error
+}
+
+// New builds a Server executing batches through runner.
+func New(runner *run.Runner, opts Options) *Server {
+	workers := opts.WorkersPerWorkload
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		runner:  runner,
+		workers: workers,
+		store:   opts.Store,
+		pools:   map[string]chan task{},
+		quit:    make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc(RunPath, s.handleRun)
+	s.mux.HandleFunc(HealthPath, s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops every workload pool. Close never closes the task channels
+// themselves — a handler still dispatching past a drain deadline must get a
+// per-spec "shut down" error, not a send-on-closed-channel panic — it
+// signals a quit channel every worker and submission selects on. Workers
+// finish the task they hold (the simulation is not preemptible) and exit;
+// Close returns once they have. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// pool returns the workload's task channel, starting its workers on first
+// use. Callers have already validated the workload against the registry, so
+// pools exist only for real workloads — garbage requests cannot grow the
+// pool map.
+func (s *Server) pool(workload string) (chan task, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("serve: server is shut down")
+	}
+	ch, ok := s.pools[workload]
+	if !ok {
+		ch = make(chan task)
+		s.pools[workload] = ch
+		for i := 0; i < s.workers; i++ {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				for {
+					select {
+					case <-s.quit:
+						return
+					case t := <-ch:
+						rec, err := s.runner.Run(t.ctx, t.spec)
+						t.done <- taskResult{rec, err}
+					}
+				}
+			}()
+		}
+	}
+	return ch, nil
+}
+
+// handleRun answers POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST a JSON array of run Specs"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBatchBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+	if len(body) > MaxBatchBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			ErrorResponse{Error: fmt.Sprintf("batch exceeds %d bytes", MaxBatchBytes)})
+		return
+	}
+	// Decode the batch in two stages so one malformed element reports its
+	// index instead of poisoning the whole body with a positionless error.
+	var raw []json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: fmt.Sprintf("batch must be a JSON array of run Specs: %v", err)})
+		return
+	}
+	if len(raw) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty batch"})
+		return
+	}
+	specs := make([]run.Spec, len(raw))
+	decodeErrs := make([]string, len(raw))
+	bad := false
+	for i, msg := range raw {
+		if err := json.Unmarshal(msg, &specs[i]); err != nil {
+			decodeErrs[i] = fmt.Sprintf("spec %d: %v", i, err)
+			bad = true
+		}
+	}
+	if bad {
+		writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{Error: "malformed specs in batch", Errors: decodeErrs})
+		return
+	}
+
+	resp := BatchResponse{
+		Records: make([]*run.Record, len(specs)),
+		Errors:  make([]string, len(specs)),
+	}
+	results := make([]chan taskResult, len(specs))
+	for i, spec := range specs {
+		// Validate the workload before pooling: unknown workloads answer as
+		// structured per-spec errors (the batch still returns), and never
+		// spawn a pool.
+		if _, err := suite.Lookup(spec.Workload); err != nil {
+			resp.Errors[i] = err.Error()
+			continue
+		}
+		ch, err := s.pool(spec.Workload)
+		if err != nil {
+			resp.Errors[i] = err.Error()
+			continue
+		}
+		done := make(chan taskResult, 1)
+		results[i] = done
+		select {
+		case ch <- task{ctx: r.Context(), spec: spec, done: done}:
+			// A worker holds the task now; its result send is buffered, so
+			// collection below cannot deadlock even if the server quits.
+		case <-r.Context().Done():
+			results[i] = nil
+			resp.Errors[i] = r.Context().Err().Error()
+		case <-s.quit:
+			results[i] = nil
+			resp.Errors[i] = "serve: server is shut down"
+		}
+	}
+	for i, done := range results {
+		if done == nil {
+			continue
+		}
+		res := <-done
+		if res.err != nil {
+			resp.Errors[i] = res.err.Error()
+			continue
+		}
+		rec := res.rec
+		resp.Records[i] = &rec
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealth answers GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:       "ok",
+		Executions:   s.runner.Executions(),
+		StoreErrors:  s.runner.StoreErrors(),
+		StoreRecords: -1,
+	}
+	if s.store != nil {
+		h.StoreRecords = s.store.Len()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the connection is gone; nothing to do.
+	_ = enc.Encode(v)
+}
