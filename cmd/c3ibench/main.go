@@ -22,6 +22,14 @@
 //	                               # same tables, Specs executed by a c3iserve
 //	                               # process (and its record store) instead of
 //	                               # in-process
+//	c3ibench -run ro-streams -cpuprofile cpu.out -memprofile mem.out
+//	                               # profile the engine hot paths under a real
+//	                               # sweep (go tool pprof cpu.out)
+//	c3ibench -run table5 -stats -  # print the Runner's metrics snapshot
+//	                               # (JSON: per-workload exec latency
+//	                               # histograms with p50/p95/p99, cache/store
+//	                               # counters) after the sweep; -stats FILE
+//	                               # writes it to FILE (the CI artifact)
 //
 // Results always print in the requested order, whatever -jobs is. The exit
 // status is non-zero if any requested experiment ID is unknown or any
@@ -39,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/c3i/suite"
@@ -57,6 +67,9 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the raw run records as JSON instead of rendered tables/figures")
 		text    = flag.Bool("text", true, "include free-text output (compiler feedback)")
 		remote  = flag.String("remote", "", "execute run Specs against a c3iserve endpoint (base URL) instead of in-process")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf = flag.String("memprofile", "", "write a post-sweep heap profile to this file")
+		stats   = flag.String("stats", "", `write the Runner's metrics snapshot (JSON) after the sweep to this file ("-" = stdout)`)
 	)
 	// One scale flag per registered workload: -scale-ta, -scale-tm, ...
 	scales := map[string]*float64{}
@@ -104,6 +117,16 @@ func main() {
 		cfg.Executor = &serve.Client{Addr: *remote}
 	}
 
+	if *jsonOut && *stats == "-" {
+		fmt.Fprintln(os.Stderr, "c3ibench: -json and -stats - both write stdout; give -stats a file")
+		os.Exit(2)
+	}
+	stopCPU, err := startCPUProfile(*cpuProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3ibench: %v\n", err)
+		os.Exit(2)
+	}
+
 	// Outcomes stream in request order as they (and their predecessors)
 	// finish, so serial runs report incrementally and -jobs runs print
 	// identically. In -json mode the records are collected and emitted as
@@ -142,6 +165,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s in %.1fs]\n", oc.Experiment.ID, oc.Elapsed.Seconds())
 	})
+	// Profiles cover exactly the sweep; the snapshot and profile files are
+	// written even when some experiments failed, so a partial sweep still
+	// leaves evidence of where the time went.
+	stopCPU()
+	toolErr := false
+	if err := writeMemProfile(*memProf); err != nil {
+		fmt.Fprintf(os.Stderr, "c3ibench: %v\n", err)
+		toolErr = true
+	}
+	if err := writeStats(*stats); err != nil {
+		fmt.Fprintf(os.Stderr, "c3ibench: %v\n", err)
+		toolErr = true
+	}
 	if *jsonOut {
 		// Emit whatever completed even when some experiments failed — the
 		// same partial-failure contract as the rendered-table mode, with
@@ -158,6 +194,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c3ibench: %d of %d requested experiments failed\n", failures, len(ids))
 		os.Exit(1)
 	}
+	if toolErr {
+		os.Exit(1)
+	}
+}
+
+// startCPUProfile begins CPU profiling into path (no-op for ""), returning
+// the stop function to run once the sweep is done.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("-cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("-cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile writes a post-GC heap profile to path (no-op for "") —
+// live allocations after the sweep, the view the ROADMAP's allocation-cut
+// work starts from.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle the sweep's garbage so the profile shows live data
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("-memprofile: %w", err)
+	}
+	return nil
+}
+
+// writeStats snapshots the shared Runner's metrics registry as JSON to path
+// ("-" = stdout, "" = no-op). With -remote the interesting counters live in
+// the server's /metrics — the local registry only shows zero executions.
+func writeStats(path string) error {
+	if path == "" {
+		return nil
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("-stats: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.Metrics().WriteJSON(w); err != nil {
+		return fmt.Errorf("-stats: %w", err)
+	}
+	return nil
 }
 
 // writeRecordSet emits the -json envelope: completed experiments plus the

@@ -11,10 +11,19 @@
 //
 //	c3iserve -addr :8642 -store ./c3iserve-store     # serve, with persistence
 //	c3iserve -addr :8642                             # serve, in-memory caches only
+//	c3iserve -addr :8642 -pprof                      # also mount /debug/pprof/
 //	c3iserve -client -addr http://host:8642 < batch.json
 //	                                                 # POST a Spec batch from stdin,
 //	                                                 # print the positional
 //	                                                 # records/errors response
+//
+// GET /metrics serves every run_*/serve_* series in Prometheus text format
+// (per-workload execution latency histograms, cache/store counters,
+// per-endpoint request counts/latency/in-flight, pool worker and queue-depth
+// gauges); GET /healthz carries the same snapshot as JSON plus the
+// per-workload pool shape. With -pprof, net/http/pprof is mounted under
+// /debug/pprof/ — `go tool pprof http://host:8642/debug/pprof/profile`
+// profiles the live serving process.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners close immediately,
 // in-flight batches drain for up to -drain, then the worker pools stop.
@@ -49,20 +58,21 @@ func main() {
 		workers = flag.Int("workers", 0, "workers per workload pool; < 1 means GOMAXPROCS")
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout for in-flight batches")
 		client  = flag.Bool("client", false, "client mode: POST a Spec batch (JSON array) from stdin to -addr")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
 	if *client {
 		os.Exit(runClient(*addr))
 	}
-	if err := runServer(*addr, *store, *jobs, *workers, *drain); err != nil {
+	if err := runServer(*addr, *store, *jobs, *workers, *drain, *pprofOn); err != nil {
 		fmt.Fprintf(os.Stderr, "c3iserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // runServer blocks until the listener fails or a shutdown signal drains it.
-func runServer(addr, storeDir string, jobs, workers int, drain time.Duration) error {
+func runServer(addr, storeDir string, jobs, workers int, drain time.Duration, pprofOn bool) error {
 	runner := run.NewRunner(jobs)
 	var ds *run.DiskStore
 	if storeDir != "" {
@@ -76,7 +86,7 @@ func runServer(addr, storeDir string, jobs, workers int, drain time.Duration) er
 	} else {
 		fmt.Fprintln(os.Stderr, "c3iserve: no -store; records are cached in-memory only")
 	}
-	srv := serve.New(runner, serve.Options{WorkersPerWorkload: workers, Store: ds})
+	srv := serve.New(runner, serve.Options{WorkersPerWorkload: workers, Store: ds, Pprof: pprofOn})
 	hs := &http.Server{Addr: addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,8 +94,11 @@ func runServer(addr, storeDir string, jobs, workers int, drain time.Duration) er
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "c3iserve: listening on %s (POST %s, GET %s)\n",
-			addr, serve.RunPath, serve.HealthPath)
+		endpoints := fmt.Sprintf("POST %s, GET %s, GET %s", serve.RunPath, serve.HealthPath, serve.MetricsPath)
+		if pprofOn {
+			endpoints += ", GET " + serve.PprofPrefix
+		}
+		fmt.Fprintf(os.Stderr, "c3iserve: listening on %s (%s)\n", addr, endpoints)
 		errCh <- hs.ListenAndServe()
 	}()
 

@@ -6,12 +6,20 @@
 //	mtaprof                       # stream sweep with the default kernel
 //	mtaprof -procs 2 -latency 280 # what a slower network would do
 //	mtaprof -deps 8               # a memory-dependent kernel
+//	mtaprof -cpuprofile cpu.out   # profile the simulator host hot paths
+//	                              # under the sweep (go tool pprof cpu.out)
+//	mtaprof -stats rows.json      # per-row engine statistics as JSON
+//	                              # ("-" = stdout, after the table)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -19,21 +27,48 @@ import (
 	"repro/internal/report"
 )
 
+// statsRow is one -stats entry: the sweep point plus the engine's full
+// statistics for it.
+type statsRow struct {
+	Streams   int           `json:"streams"`
+	Seconds   float64       `json:"seconds"`
+	IssueUtil float64       `json:"issue_util"`
+	Stats     machine.Stats `json:"stats"`
+}
+
 func main() {
 	var (
-		procs   = flag.Int("procs", 1, "processors")
-		opsIter = flag.Int64("ops", 130, "compute ops per iteration per stream")
-		deps    = flag.Int("deps", 2, "dependent loads per iteration per stream")
-		iters   = flag.Int("iters", 50, "iterations per stream")
-		latency = flag.Float64("latency", 0, "override memory latency (cycles)")
+		procs    = flag.Int("procs", 1, "processors")
+		opsIter  = flag.Int64("ops", 130, "compute ops per iteration per stream")
+		deps     = flag.Int("deps", 2, "dependent loads per iteration per stream")
+		iters    = flag.Int("iters", 50, "iterations per stream")
+		latency  = flag.Float64("latency", 0, "override memory latency (cycles)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a post-sweep heap profile to this file")
+		statsOut = flag.String("stats", "", `write per-row engine statistics (JSON) to this file ("-" = stdout)`)
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("mtaprof: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("mtaprof: -cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	tb := &report.Table{
 		ID:      "mtaprof",
 		Title:   fmt.Sprintf("MTA issue utilization vs streams (%d proc, %d ops + %d dependent loads per iteration)", *procs, *opsIter, *deps),
 		Columns: []string{"Streams", "Cycles", "Issue utilization", "Throughput (ops/cycle)"},
 	}
+	var rows []statsRow
 	for _, streams := range []int{1, 2, 4, 8, 16, 21, 32, 48, 64, 80, 96, 128} {
 		p := mta.DefaultParams(*procs)
 		if *latency > 0 {
@@ -69,8 +104,37 @@ func main() {
 			fmt.Sprintf("%.0f", res.Stats.Cycles),
 			fmt.Sprintf("%.1f%%", util*100),
 			fmt.Sprintf("%.3f", totalOps/res.Stats.Cycles))
+		rows = append(rows, statsRow{Streams: streams, Seconds: res.Seconds, IssueUtil: util, Stats: res.Stats})
 	}
 	fmt.Println(tb.Render())
 	fmt.Println("The single-stream row shows the paper's ~5% utilization; with a")
 	fmt.Println("memory-dependent kernel, saturation needs far more than 21 streams.")
+
+	if *statsOut != "" {
+		w := os.Stdout
+		if *statsOut != "-" {
+			f, err := os.Create(*statsOut)
+			if err != nil {
+				log.Fatalf("mtaprof: -stats: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			log.Fatalf("mtaprof: -stats: %v", err)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatalf("mtaprof: -memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("mtaprof: -memprofile: %v", err)
+		}
+	}
 }

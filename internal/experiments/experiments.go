@@ -29,6 +29,7 @@ import (
 	"repro/internal/c3i/suite"
 	_ "repro/internal/c3i/terrain" // register the Terrain Masking workload
 	_ "repro/internal/c3i/threat"  // register the Threat Analysis workload
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/run"
 )
@@ -331,4 +332,13 @@ func coarseOverheadFullScaleGB(workload string, workers int) float64 {
 // and measurement).
 func ResetCaches() {
 	sharedRunner.Reset()
+}
+
+// Metrics exposes the shared Runner's metrics registry — per-workload
+// execution latency histograms and cache/store counters accumulated across
+// every experiment run in this process. `c3ibench -stats` snapshots it after
+// a sweep. Note that Reset/ResetCaches does not zero metrics: they count the
+// process's whole history, which is exactly what a post-sweep snapshot wants.
+func Metrics() *obs.Registry {
+	return sharedRunner.Metrics()
 }

@@ -1,0 +1,238 @@
+// Package obs is the repo's dependency-free observability core: atomic
+// counters, gauges, and fixed-bucket latency histograms with percentile
+// summaries, collected in a Registry that snapshots to JSON and renders the
+// Prometheus text exposition format. The run API instruments executions and
+// cache traffic with it, the serving tier instruments requests and worker
+// pools, and `GET /metrics` / `c3ibench -stats` are thin views over a
+// Registry snapshot — the instrument panel every performance PR is judged
+// with.
+//
+// Everything here is safe for concurrent use and allocation-free on the hot
+// path (Observe/Inc/Add are atomic operations on pre-allocated state);
+// metric lookup by name+labels takes a registry lock, so callers on hot
+// paths should resolve their metric handles once and hold them.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is a programming error; it is not checked on the
+// hot path, but Prometheus semantics assume counters never decrease).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight requests,
+// pool size).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefLatencyBuckets is the default histogram bucketing for request and
+// execution latencies, in seconds: sub-millisecond cache hits through the
+// multi-minute paper-scale sweeps (`ro-streams` is ~54 s of host time in
+// BENCH_baseline.json), roughly log-spaced.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram counts observations into fixed upper-bound buckets and keeps
+// their sum, from which Quantile interpolates p50/p95/p99. Observation i
+// lands in the first bucket whose bound is >= the value (`le` semantics);
+// values above every bound land in the implicit overflow (+Inf) bucket.
+type Histogram struct {
+	bounds []float64      // sorted ascending, immutable after construction
+	counts []atomic.Int64 // len(bounds)+1; last entry is the overflow bucket
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which must be
+// at least one strictly increasing finite value. Panics otherwise — bucket
+// layout is declared at construction by code, not data.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram bound %d (%v) is not finite", i, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d (%v after %v)",
+				i, b, bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket the rank falls in, the same estimate Prometheus'
+// histogram_quantile computes. Edges are defined, not special-cased by
+// callers: an empty histogram reports 0; a rank landing in the first bucket
+// interpolates from 0; a rank landing in the overflow bucket reports the
+// largest finite bound (the histogram cannot know how far above it the
+// observations went). Concurrent Observes make the estimate approximate,
+// never a panic.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	if target < 1 {
+		target = 1 // the rank of the first observation
+	}
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (h.bounds[i]-lower)*(target-cum)/c
+		}
+		cum += c
+	}
+	// Racing Observes moved counts under us; the overflow answer is the
+	// defined fallback.
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Buckets returns the cumulative per-bucket counts in Prometheus `le` form:
+// one entry per finite bound plus the +Inf total.
+func (h *Histogram) Buckets() []BucketCount {
+	out := make([]BucketCount, 0, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out = append(out, BucketCount{LE: le, Count: cum})
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket: the count of observations
+// ≤ LE (+Inf for the overflow bucket). It travels in JSON with `le` as the
+// Prometheus label string ("0.5", "+Inf") — encoding/json has no
+// representation for the infinite bound.
+type BucketCount struct {
+	LE    float64 `json:"-"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON implements json.Unmarshaler (snapshots round-trip through
+// CI artifacts).
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	if wire.LE == "+Inf" {
+		b.LE = math.Inf(1)
+	} else {
+		f, err := strconv.ParseFloat(wire.LE, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket le %q: %w", wire.LE, err)
+		}
+		b.LE = f
+	}
+	b.Count = wire.Count
+	return nil
+}
+
+// atomicFloat is a float64 accumulated with a CAS loop on its bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }

@@ -1,0 +1,290 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	. "repro/internal/obs"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	// `le` semantics: a value exactly on a bound belongs to that bound's
+	// bucket, just above it to the next.
+	h.Observe(1)    // bucket le=1
+	h.Observe(1.01) // bucket le=10
+	h.Observe(10)   // bucket le=10
+	h.Observe(100)  // bucket le=100
+	h.Observe(101)  // overflow
+	h.Observe(-5)   // below every bound still lands in the first bucket
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("got %d buckets, want 4 (3 finite + overflow)", len(bs))
+	}
+	wantCum := []int64{2, 4, 5, 6}
+	for i, b := range bs {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le=%v): cumulative %d, want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(bs[3].LE, 1) {
+		t.Errorf("last bucket le = %v, want +Inf", bs[3].LE)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 1+1.01+10+100+101-5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(1, 10)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	h.Observe(5) // the (1, 10] bucket
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		got := h.Quantile(q)
+		if got < 1 || got > 10 {
+			t.Errorf("Quantile(%v) = %v, want inside the sample's (1,10] bucket", q, got)
+		}
+	}
+	// Every quantile of a single sample names the same (whole) bucket, so
+	// the estimate must be identical across q — rank clamps at the first
+	// observation.
+	if h.Quantile(0.01) != h.Quantile(0.99) {
+		t.Errorf("single-sample quantiles differ: q01=%v q99=%v", h.Quantile(0.01), h.Quantile(0.99))
+	}
+}
+
+func TestHistogramQuantileAllInOverflow(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // far above every bound
+	}
+	// The histogram cannot see above its largest finite bound; the defined
+	// answer is that bound, never +Inf or a panic.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 0.1 {
+			t.Errorf("all-overflow Quantile(%v) = %v, want 0.1 (largest finite bound)", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(10, 20)
+	// 10 samples in (10, 20]: p50 has rank 5 of 10 → halfway into the
+	// bucket by linear interpolation.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p50 = %v, want 15 (linear interpolation of rank 5/10 into (10,20])", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("p100 = %v, want 20 (top of the bucket)", got)
+	}
+	// First bucket interpolates from 0, not from the bound below.
+	h2 := NewHistogram(8, 16)
+	h2.Observe(4)
+	h2.Observe(4)
+	if got := h2.Quantile(0.5); got <= 0 || got > 8 {
+		t.Errorf("first-bucket p50 = %v, want in (0, 8]", got)
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1.5)
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("out-of-range q not clamped")
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {10, 1},
+		"duplicate":  {1, 1},
+		"nan":        {1, math.NaN()},
+		"inf":        {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%s bounds) did not panic", name)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits_total", Labels{"workload": "ta"})
+	c2 := r.Counter("hits_total", Labels{"workload": "ta"})
+	if c1 != c2 {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c3 := r.Counter("hits_total", Labels{"workload": "tm"})
+	if c1 == c3 {
+		t.Error("distinct labels returned the same counter")
+	}
+	c1.Inc()
+	if c2.Value() != 1 || c3.Value() != 0 {
+		t.Errorf("series not independent: %d / %d", c2.Value(), c3.Value())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("requesting a counter series as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", nil)
+}
+
+func TestSnapshotShapeAndOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", Labels{"w": "2"}).Add(7)
+	r.Counter("b_total", Labels{"w": "1"}).Add(3)
+	r.Gauge("a_gauge", nil).Set(5)
+	h := r.Histogram("lat_seconds", Labels{"w": "1"}, []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	snap := r.Snapshot()
+	if len(snap.Counters) != 2 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot sizes: %d counters, %d gauges, %d histograms",
+			len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	}
+	// Deterministic order: name, then label series.
+	if snap.Counters[0].Labels["w"] != "1" || snap.Counters[1].Labels["w"] != "2" {
+		t.Errorf("counters not label-ordered: %+v", snap.Counters)
+	}
+	hv := snap.Histograms[0]
+	if hv.Count != 2 || hv.Sum != 5.5 || hv.P50 <= 0 {
+		t.Errorf("histogram summary: %+v", hv)
+	}
+	if len(hv.Buckets) != 3 {
+		t.Errorf("histogram snapshot has %d buckets, want 3", len(hv.Buckets))
+	}
+
+	// The snapshot must be JSON-clean (no NaN/Inf from empty percentile
+	// math), and empty registries emit arrays, not nulls.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	empty, err := json.Marshal(NewRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(empty); !strings.Contains(s, `"counters":[]`) {
+		t.Errorf("empty snapshot = %s, want explicit empty arrays", s)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("run_executions_total", Labels{"workload": "threat-analysis"}).Add(5)
+	r.Gauge("serve_inflight", Labels{"path": "/v1/run"}).Set(2)
+	h := r.Histogram("serve_request_seconds", Labels{"path": "/v1/run"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE run_executions_total counter",
+		`run_executions_total{workload="threat-analysis"} 5`,
+		"# TYPE serve_inflight gauge",
+		`serve_inflight{path="/v1/run"} 2`,
+		"# TYPE serve_request_seconds histogram",
+		`serve_request_seconds_bucket{path="/v1/run",le="0.1"} 1`,
+		`serve_request_seconds_bucket{path="/v1/run",le="1"} 2`,
+		`serve_request_seconds_bucket{path="/v1/run",le="+Inf"} 3`,
+		`serve_request_seconds_sum{path="/v1/run"} 30.55`,
+		`serve_request_seconds_count{path="/v1/run"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, not per series.
+	r.Counter("run_executions_total", Labels{"workload": "terrain-masking"}).Inc()
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	if n := strings.Count(sb.String(), "# TYPE run_executions_total"); n != 1 {
+		t.Errorf("%d TYPE headers for one family, want 1", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", Labels{"k": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if want := `c_total{k="a\"b\\c\nd"} 1`; !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped output missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c_total", Labels{"g": "x"}).Inc()
+				r.Gauge("g", nil).Add(1)
+				r.Histogram("h_seconds", nil, []float64{0.5, 1}).Observe(0.75)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", Labels{"g": "x"}).Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	h := r.Histogram("h_seconds", nil, nil)
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-6000) > 1e-6 {
+		t.Errorf("histogram sum = %v, want 6000", h.Sum())
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels name one metric series within a family ({workload="threat-analysis"}).
+// A nil or empty map is a valid unlabeled series.
+type Labels map[string]string
+
+// Registry holds named metrics. Lookup is get-or-create: asking for the same
+// name+labels returns the same metric, so instrumentation sites do not need
+// registration ceremony — but asking for an existing series as a different
+// kind panics, because two call sites disagreeing about what a name means is
+// a programming error no snapshot should paper over.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	name   string
+	labels Labels
+	series string // rendered {k="v",...} label set, "" when unlabeled
+	kind   metricKind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// Counter returns the counter with the given name and labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	return r.get(name, labels, counterKind, nil).c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	return r.get(name, labels, gaugeKind, nil).g
+}
+
+// Histogram returns the histogram with the given name, labels and bucket
+// bounds, creating it on first use. Bounds are fixed by the first call for a
+// series; later calls return the existing histogram regardless of the bounds
+// they pass (all call sites for one family should share one bounds slice).
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	return r.get(name, labels, histogramKind, bounds).h
+}
+
+func (r *Registry) get(name string, labels Labels, kind metricKind, bounds []float64) *metric {
+	series := renderLabels(labels)
+	key := name + series
+	r.mu.RLock()
+	m, ok := r.metrics[key]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if m, ok = r.metrics[key]; !ok {
+			m = &metric{name: name, series: series, kind: kind}
+			if len(labels) > 0 {
+				m.labels = Labels{}
+				for k, v := range labels {
+					m.labels[k] = v
+				}
+			}
+			switch kind {
+			case counterKind:
+				m.c = &Counter{}
+			case gaugeKind:
+				m.g = &Gauge{}
+			case histogramKind:
+				if bounds == nil {
+					bounds = DefLatencyBuckets
+				}
+				m.h = NewHistogram(bounds...)
+			}
+			r.metrics[key] = m
+		}
+		r.mu.Unlock()
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s%s requested as %s but registered as %s",
+			name, series, kind, m.kind))
+	}
+	return m
+}
+
+// sorted returns every metric ordered by name then label series — the one
+// deterministic order Snapshot and WritePrometheus both emit.
+func (r *Registry) sorted() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].series < out[j].series
+	})
+	return out
+}
+
+// MetricValue is one counter or gauge series in a Snapshot.
+type MetricValue struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// HistogramValue is one histogram series in a Snapshot: count, sum, the
+// interpolated percentile summary, and the cumulative buckets.
+type HistogramValue struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	P50     float64           `json:"p50"`
+	P95     float64           `json:"p95"`
+	P99     float64           `json:"p99"`
+	Buckets []BucketCount     `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric, ordered by name then
+// label series, shaped for JSON (the /healthz body and `c3ibench -stats`).
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the current value of every metric. The arrays are always
+// present (empty, never null), so jq gates can index them unconditionally.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []MetricValue{},
+		Gauges:     []MetricValue{},
+		Histograms: []HistogramValue{},
+	}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case counterKind:
+			snap.Counters = append(snap.Counters, MetricValue{Name: m.name, Labels: m.labels, Value: m.c.Value()})
+		case gaugeKind:
+			snap.Gauges = append(snap.Gauges, MetricValue{Name: m.name, Labels: m.labels, Value: m.g.Value()})
+		case histogramKind:
+			snap.Histograms = append(snap.Histograms, HistogramValue{
+				Name: m.name, Labels: m.labels,
+				Count: m.h.Count(), Sum: m.h.Sum(),
+				P50: m.h.Quantile(0.50), P95: m.h.Quantile(0.95), P99: m.h.Quantile(0.99),
+				Buckets: m.h.Buckets(),
+			})
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` headers, histogram `_bucket`/`_sum`/
+// `_count` expansion with cumulative `le` labels, deterministic order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	lastName := ""
+	for _, m := range r.sorted() {
+		if m.name != lastName {
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind)
+			lastName = m.name
+		}
+		switch m.kind {
+		case counterKind:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, m.series, m.c.Value())
+		case gaugeKind:
+			fmt.Fprintf(w, "%s%s %d\n", m.name, m.series, m.g.Value())
+		case histogramKind:
+			for _, b := range m.h.Buckets() {
+				le := "+Inf"
+				if !math.IsInf(b.LE, 1) {
+					le = formatFloat(b.LE)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLabel(m.series, "le", le), b.Count)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.series, formatFloat(m.h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.series, m.h.Count())
+		}
+	}
+}
+
+// renderLabels renders a sorted, escaped {k="v",...} series string.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// withLabel inserts one extra label into an already-rendered series.
+func withLabel(series, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if series == "" {
+		return "{" + extra + "}"
+	}
+	return series[:len(series)-1] + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

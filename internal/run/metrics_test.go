@@ -1,0 +1,162 @@
+package run
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func counterValue(r *obs.Registry, name, workload string) int64 {
+	return r.Counter(name, obs.Labels{"workload": workload}).Value()
+}
+
+func TestRunnerMetricsExecutionsAndCacheHits(t *testing.T) {
+	r := NewRunner(0)
+	ctx := context.Background()
+	m := r.Metrics()
+
+	if _, err := r.Run(ctx, hookSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, hookSpec(100)); err != nil { // cache hit
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, hookSpec(200)); err != nil { // second execution
+		t.Fatal(err)
+	}
+	if got := counterValue(m, MetricExecutions, "run-hook"); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricExecutions, got)
+	}
+	if got := counterValue(m, MetricCacheHits, "run-hook"); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCacheHits, got)
+	}
+	// The counter form always agrees with the method form.
+	if got := r.Executions(); got != 2 {
+		t.Errorf("Executions() = %d, want 2", got)
+	}
+	// Execution latency histogram observed both engine runs.
+	h := m.Histogram(MetricExecSeconds, obs.Labels{"workload": "run-hook"}, obs.DefLatencyBuckets)
+	if h.Count() != 2 {
+		t.Errorf("%s count = %d, want 2", MetricExecSeconds, h.Count())
+	}
+	if h.Quantile(0.99) <= 0 {
+		t.Errorf("%s p99 = %v, want > 0", MetricExecSeconds, h.Quantile(0.99))
+	}
+	// Execute bypasses the record cache but still counts as an execution.
+	if _, err := r.Execute(ctx, hookSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(m, MetricExecutions, "run-hook"); got != 3 {
+		t.Errorf("%s after Execute = %d, want 3", MetricExecutions, got)
+	}
+}
+
+func TestRunnerMetricsStoreHitsAndErrors(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ds, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First runner computes and persists.
+	r1 := NewRunner(0)
+	r1.SetStore(ds)
+	if _, err := r1.Run(ctx, hookSpec(300)); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(r1.Metrics(), MetricStoreHits, "run-hook"); got != 0 {
+		t.Errorf("fresh store reported %d hits", got)
+	}
+
+	// Second runner (a "restart") answers from the store: a store hit, no
+	// execution.
+	r2 := NewRunner(0)
+	r2.SetStore(ds)
+	if _, err := r2.Run(ctx, hookSpec(300)); err != nil {
+		t.Fatal(err)
+	}
+	m2 := r2.Metrics()
+	if got := counterValue(m2, MetricStoreHits, "run-hook"); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricStoreHits, got)
+	}
+	if got := counterValue(m2, MetricExecutions, "run-hook"); got != 0 {
+		t.Errorf("%s = %d, want 0 (store-served)", MetricExecutions, got)
+	}
+
+	// A runner whose store cannot persist counts the failures in both the
+	// method and the metric, and the run still succeeds.
+	r3 := NewRunner(0)
+	r3.SetStore(failingStore{})
+	if _, err := r3.Run(ctx, hookSpec(400)); err != nil {
+		t.Fatalf("save failure must not fail the run: %v", err)
+	}
+	if got := counterValue(r3.Metrics(), MetricStoreErrors, "run-hook"); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricStoreErrors, got)
+	}
+	if r3.StoreErrors() != 1 {
+		t.Errorf("StoreErrors() = %d, want 1", r3.StoreErrors())
+	}
+}
+
+func TestRunnerMetricsSingleFlightWait(t *testing.T) {
+	r := NewRunner(0)
+	ctx := context.Background()
+	// All-identical specs through RunAll: one execution, the rest collapse
+	// and wait on it.
+	const n = 8
+	release := make(chan struct{})
+	setHook(func() { <-release })
+	defer setHook(nil)
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = hookSpec(500)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunAll(ctx, specs)
+		done <- err
+	}()
+	// Let the losers pile up behind the winner, then release it.
+	waitHist := r.Metrics().Histogram(MetricWaitSeconds, obs.Labels{"workload": "run-hook"}, obs.DefLatencyBuckets)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if got := counterValue(m, MetricExecutions, "run-hook"); got != 1 {
+		t.Errorf("%s = %d, want 1 (single-flight)", MetricExecutions, got)
+	}
+	hits := counterValue(m, MetricCacheHits, "run-hook")
+	if hits != n-1 {
+		t.Errorf("%s = %d, want %d (losers + repeats)", MetricCacheHits, hits, n-1)
+	}
+	// Collapsed callers observed their wait; done-map hits (wait 0) are not
+	// observed, so the count is at most the loser count.
+	if waitHist.Count() > n-1 {
+		t.Errorf("%s count = %d, want <= %d", MetricWaitSeconds, waitHist.Count(), n-1)
+	}
+}
+
+func TestRunnerMetricsPrometheusNames(t *testing.T) {
+	// The CI smoke job greps these exact family names from GET /metrics;
+	// this pins them at the source.
+	r := NewRunner(0)
+	if _, err := r.Run(context.Background(), hookSpec(600)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	r.Metrics().WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`run_executions_total{workload="run-hook"} 1`,
+		`run_exec_seconds_bucket{workload="run-hook",le="+Inf"} 1`,
+		`run_exec_seconds_count{workload="run-hook"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,6 +11,32 @@ import (
 
 	"repro/internal/c3i/suite"
 	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Metric names the Runner publishes in its registry, all labeled
+// {workload=...}. The serving tier exposes the same registry on
+// `GET /metrics`, and the CI smoke job greps these names, so they are part
+// of the observable API.
+const (
+	// MetricExecutions counts engine executions (cache hits and
+	// single-flight collapses excluded) — the counter form of Executions().
+	MetricExecutions = "run_executions_total"
+	// MetricExecSeconds is the per-workload engine execution latency
+	// histogram (host seconds, not simulated seconds).
+	MetricExecSeconds = "run_exec_seconds"
+	// MetricWaitSeconds is how long callers blocked on another caller's
+	// in-flight computation of the same Spec (single-flight queue wait).
+	MetricWaitSeconds = "run_wait_seconds"
+	// MetricCacheHits counts Runs served without executing: in-memory
+	// record-cache hits plus single-flight collapses.
+	MetricCacheHits = "run_cache_hits_total"
+	// MetricStoreHits counts Runs answered from the persistent record
+	// store instead of an engine execution.
+	MetricStoreHits = "run_store_hits_total"
+	// MetricStoreErrors counts failed record-store writes (persistence
+	// degraded to recomputation) — the counter form of StoreErrors().
+	MetricStoreErrors = "run_store_errors_total"
 )
 
 // Executor executes Specs into Records — the consumer-facing face of the
@@ -29,10 +55,11 @@ type Executor interface {
 // concurrent use; create one per process (or per benchmark iteration, when
 // the point is to measure uncached cost).
 type Runner struct {
-	jobs   int
-	suites onceMap[[]suite.Scenario]
-	runs   onceMap[Record]
-	execs  atomic.Int64
+	jobs    int
+	suites  onceMap[[]suite.Scenario]
+	runs    onceMap[Record]
+	execs   atomic.Int64
+	metrics *obs.Registry
 
 	storeMu   sync.RWMutex
 	store     Store
@@ -45,8 +72,18 @@ func NewRunner(jobs int) *Runner {
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{jobs: jobs}
+	return &Runner{jobs: jobs, metrics: obs.NewRegistry()}
 }
+
+// Metrics returns the Runner's metrics registry: per-workload execution
+// latency histograms, cache/store/execution counters and single-flight wait
+// times (the Metric* names above). The serving tier merges its own request
+// metrics into the same registry and serves both on GET /metrics;
+// `c3ibench -stats` snapshots it after a sweep.
+func (r *Runner) Metrics() *obs.Registry { return r.metrics }
+
+// workloadLabels renders the one label set every Runner metric carries.
+func workloadLabels(workload string) obs.Labels { return obs.Labels{"workload": workload} }
 
 // SetStore layers a persistent Record store under the in-memory
 // single-flight cache: a cache miss consults the store before executing, and
@@ -108,13 +145,15 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (Record, error) {
 		return Record{}, err
 	}
 	key := ns.render()
+	labels := workloadLabels(ns.Workload)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return Record{}, err
 		}
-		rec, err := r.runs.do(key, func() (Record, error) {
+		rec, err, shared, wait := r.runs.doTracked(key, func() (Record, error) {
 			if s := r.getStore(); s != nil {
 				if rec, ok := s.Load(key); ok {
+					r.metrics.Counter(MetricStoreHits, labels).Inc()
 					return rec, nil
 				}
 			}
@@ -123,11 +162,18 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (Record, error) {
 				if s := r.getStore(); s != nil {
 					if serr := s.Save(rec); serr != nil {
 						r.storeErrs.Add(1)
+						r.metrics.Counter(MetricStoreErrors, labels).Inc()
 					}
 				}
 			}
 			return rec, err
 		})
+		if wait > 0 {
+			r.metrics.Histogram(MetricWaitSeconds, labels, obs.DefLatencyBuckets).Observe(wait.Seconds())
+		}
+		if shared && err == nil {
+			r.metrics.Counter(MetricCacheHits, labels).Inc()
+		}
 		// A single-flight winner whose context was cancelled fails every
 		// caller collapsed onto it with *its* context error. Errors are
 		// never memoized, so a caller whose own context is still live tries
@@ -268,6 +314,7 @@ func (r *Runner) executeOn(ctx context.Context, ns Spec, scs []suite.Scenario) (
 	key := ns.render()
 	start := time.Now()
 	r.execs.Add(1)
+	r.metrics.Counter(MetricExecutions, workloadLabels(ns.Workload)).Inc()
 	var checksum, overhead uint64
 	res, err := newEngine().Run(key, func(t *machine.Thread) {
 		for i, sc := range scs {
@@ -285,6 +332,8 @@ func (r *Runner) executeOn(ctx context.Context, ns Spec, scs []suite.Scenario) (
 			}
 		}
 	})
+	r.metrics.Histogram(MetricExecSeconds, workloadLabels(ns.Workload), obs.DefLatencyBuckets).
+		Observe(time.Since(start).Seconds())
 	if err != nil {
 		return Record{}, fmt.Errorf("run: %s: %w", key, err)
 	}
@@ -330,16 +379,27 @@ func (m *onceMap[T]) initLocked() {
 }
 
 func (m *onceMap[T]) do(key string, fn func() (T, error)) (T, error) {
+	v, err, _, _ := m.doTracked(key, fn)
+	return v, err
+}
+
+// doTracked is do with observability: shared reports whether the result came
+// from the done map or from collapsing onto another caller's in-flight
+// computation (i.e. fn did not run in this call), and wait is how long the
+// caller blocked on that in-flight computation (zero for done-map hits and
+// for the winner).
+func (m *onceMap[T]) doTracked(key string, fn func() (T, error)) (val T, err error, shared bool, wait time.Duration) {
 	m.mu.Lock()
 	m.initLocked()
 	if v, ok := m.done[key]; ok {
 		m.mu.Unlock()
-		return v, nil
+		return v, nil, true, 0
 	}
 	if c, ok := m.inflight[key]; ok {
 		m.mu.Unlock()
+		start := time.Now()
 		<-c.ready
-		return c.val, c.err
+		return c.val, c.err, true, time.Since(start)
 	}
 	c := &onceCall[T]{ready: make(chan struct{})}
 	m.inflight[key] = c
@@ -358,7 +418,7 @@ func (m *onceMap[T]) do(key string, fn func() (T, error)) (T, error) {
 	}
 	m.mu.Unlock()
 	close(c.ready)
-	return c.val, c.err
+	return c.val, c.err, false, 0
 }
 
 func (m *onceMap[T]) reset() {

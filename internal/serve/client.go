@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/run"
 )
@@ -21,8 +22,28 @@ import (
 type Client struct {
 	// Addr is the server base URL ("http://host:port").
 	Addr string
-	// HTTP overrides the transport; nil means http.DefaultClient.
+	// HTTP overrides the transport; nil means a default client honoring
+	// Timeout.
 	HTTP *http.Client
+	// Timeout bounds each whole request (connect through body read) when
+	// HTTP is nil. The zero value means no timeout — deliberate, not an
+	// oversight: a cold paper-scale sweep legitimately holds one batch
+	// request open for minutes, so callers opt in to a bound rather than
+	// having long experiments severed by a default.
+	Timeout time.Duration
+}
+
+// httpClient resolves the client every request uses: an explicit HTTP
+// override wins, otherwise a client bounded by Timeout (the shared
+// http.DefaultClient when no timeout is asked for).
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	if c.Timeout > 0 {
+		return &http.Client{Timeout: c.Timeout}
+	}
+	return http.DefaultClient
 }
 
 // Run executes one Spec remotely (a batch of one).
@@ -48,11 +69,7 @@ func (c *Client) RunBatch(ctx context.Context, specs []run.Spec) (BatchResponse,
 		return BatchResponse{}, fmt.Errorf("serve: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	hc := c.HTTP
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return BatchResponse{}, fmt.Errorf("serve: %s: %w", c.Addr, err)
 	}
@@ -111,11 +128,7 @@ func (c *Client) Healthz(ctx context.Context) (Health, error) {
 	if err != nil {
 		return Health{}, fmt.Errorf("serve: %w", err)
 	}
-	hc := c.HTTP
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	resp, err := hc.Do(req)
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return Health{}, fmt.Errorf("serve: %s: %w", c.Addr, err)
 	}

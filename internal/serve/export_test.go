@@ -1,0 +1,8 @@
+package serve
+
+import "net/http"
+
+// HTTPClientForTest exposes httpClient to the regression tests: which
+// transport a client configuration resolves to is part of the Client
+// contract (explicit override > Timeout > shared default).
+func (c *Client) HTTPClientForTest() *http.Client { return c.httpClient() }

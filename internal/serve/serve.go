@@ -21,17 +21,42 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/c3i/suite"
+	"repro/internal/obs"
 	"repro/internal/run"
 )
 
-// RunPath and HealthPath are the server's endpoints.
+// The server's endpoints. PprofPrefix is only mounted with Options.Pprof.
 const (
-	RunPath    = "/v1/run"
-	HealthPath = "/healthz"
+	RunPath     = "/v1/run"
+	HealthPath  = "/healthz"
+	MetricsPath = "/metrics"
+	PprofPrefix = "/debug/pprof/"
+)
+
+// Metric names the serving tier publishes (alongside the Runner's run_*
+// family) in the registry GET /metrics renders. The CI smoke job greps
+// MetricRequests, so these are part of the observable API.
+const (
+	// MetricRequests counts finished HTTP requests, labeled
+	// {path=..., code=...} with code a status class ("2xx", "4xx", "5xx").
+	MetricRequests = "serve_requests_total"
+	// MetricRequestSeconds is the per-endpoint request latency histogram.
+	MetricRequestSeconds = "serve_request_seconds"
+	// MetricInflight gauges requests currently being served, per endpoint.
+	MetricInflight = "serve_inflight"
+	// MetricPoolWorkers gauges each started workload pool's worker count.
+	MetricPoolWorkers = "serve_pool_workers"
+	// MetricPoolQueueDepth gauges Specs handed to a workload pool but not
+	// yet picked up by a worker — sustained nonzero depth means the pool is
+	// saturated.
+	MetricPoolQueueDepth = "serve_pool_queue_depth"
 )
 
 // MaxBatchBytes bounds a request body; a batch of Specs is small, so
@@ -64,8 +89,16 @@ type Health struct {
 	// StoreErrors counts failed record-store writes (persistence degraded).
 	StoreErrors int64 `json:"store_errors"`
 	// StoreRecords is the disk store's current record count, -1 when the
-	// server runs without a persistent store.
+	// server runs without a persistent store. Refreshed per request under
+	// the server's read lock.
 	StoreRecords int `json:"store_records"`
+	// Pools maps each workload whose worker pool has started to its worker
+	// count — the pool shape the CI smoke job asserts.
+	Pools map[string]int `json:"pools"`
+	// Metrics is the full metrics snapshot (the JSON twin of GET /metrics):
+	// the runner's per-workload execution/cache/store series plus the
+	// serving tier's request series.
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // Options configures a Server.
@@ -77,6 +110,11 @@ type Options struct {
 	// store must already be attached to the Runner via SetStore; the server
 	// never writes it directly.
 	Store *run.DiskStore
+	// Pprof mounts net/http/pprof under /debug/pprof/ — CPU, heap, goroutine
+	// and mutex profiles of the live serving process. Off by default: the
+	// profile endpoints can observably stall a loaded process, so exposing
+	// them is an operator's explicit choice (`c3iserve -pprof`).
+	Pprof bool
 }
 
 // Server is an http.Handler serving the run API. Create with New; after the
@@ -85,10 +123,11 @@ type Options struct {
 type Server struct {
 	runner  *run.Runner
 	workers int
-	store   *run.DiskStore
+	metrics *obs.Registry
 	mux     *http.ServeMux
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
+	store  *run.DiskStore
 	pools  map[string]chan task
 	closed bool
 	quit   chan struct{}
@@ -107,7 +146,10 @@ type taskResult struct {
 	err error
 }
 
-// New builds a Server executing batches through runner.
+// New builds a Server executing batches through runner. The server's request
+// metrics land in the runner's registry, so GET /metrics (and the /healthz
+// snapshot) carries both the serving tier's serve_* series and the run API's
+// run_* series from one source of truth.
 func New(runner *run.Runner, opts Options) *Server {
 	workers := opts.WorkersPerWorkload
 	if workers < 1 {
@@ -116,6 +158,7 @@ func New(runner *run.Runner, opts Options) *Server {
 	s := &Server{
 		runner:  runner,
 		workers: workers,
+		metrics: runner.Metrics(),
 		store:   opts.Store,
 		pools:   map[string]chan task{},
 		quit:    make(chan struct{}),
@@ -123,11 +166,72 @@ func New(runner *run.Runner, opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(RunPath, s.handleRun)
 	s.mux.HandleFunc(HealthPath, s.handleHealth)
+	s.mux.HandleFunc(MetricsPath, s.handleMetrics)
+	if opts.Pprof {
+		s.mux.HandleFunc(PprofPrefix, pprof.Index)
+		s.mux.HandleFunc(PprofPrefix+"cmdline", pprof.Cmdline)
+		s.mux.HandleFunc(PprofPrefix+"profile", pprof.Profile)
+		s.mux.HandleFunc(PprofPrefix+"symbol", pprof.Symbol)
+		s.mux.HandleFunc(PprofPrefix+"trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler, wrapping every endpoint in the request
+// middleware: per-endpoint in-flight gauge, latency histogram, and a
+// request counter labeled by status class.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	labels := obs.Labels{"path": endpointLabel(r.URL.Path)}
+	inflight := s.metrics.Gauge(MetricInflight, labels)
+	inflight.Inc()
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	inflight.Dec()
+	s.metrics.Histogram(MetricRequestSeconds, labels, obs.DefLatencyBuckets).
+		Observe(time.Since(start).Seconds())
+	s.metrics.Counter(MetricRequests,
+		obs.Labels{"path": labels["path"], "code": statusClass(sw.status)}).Inc()
+}
+
+// endpointLabel folds a request path onto a bounded label set: the known
+// endpoints by name, anything else to "other", so arbitrary request paths
+// cannot grow unbounded metric series.
+func endpointLabel(path string) string {
+	switch path {
+	case RunPath, HealthPath, MetricsPath:
+		return path
+	}
+	if strings.HasPrefix(path, PprofPrefix) {
+		return PprofPrefix
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusClass folds a status code to its class label.
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
 
 // Close stops every workload pool. Close never closes the task channels
 // themselves — a handler still dispatching past a drain deadline must get a
@@ -159,6 +263,7 @@ func (s *Server) pool(workload string) (chan task, error) {
 	if !ok {
 		ch = make(chan task)
 		s.pools[workload] = ch
+		s.metrics.Gauge(MetricPoolWorkers, obs.Labels{"workload": workload}).Set(int64(s.workers))
 		for i := 0; i < s.workers; i++ {
 			s.wg.Add(1)
 			go func() {
@@ -242,6 +347,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		done := make(chan taskResult, 1)
 		results[i] = done
+		// The queue-depth gauge spans exactly the window where the Spec has
+		// been handed to the pool but no worker has picked it up: sustained
+		// nonzero depth on /metrics means that workload's pool is saturated.
+		depth := s.metrics.Gauge(MetricPoolQueueDepth, obs.Labels{"workload": spec.Workload})
+		depth.Inc()
 		select {
 		case ch <- task{ctx: r.Context(), spec: spec, done: done}:
 			// A worker holds the task now; its result send is buffered, so
@@ -253,6 +363,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			results[i] = nil
 			resp.Errors[i] = "serve: server is shut down"
 		}
+		depth.Dec()
 	}
 	for i, done := range results {
 		if done == nil {
@@ -269,18 +380,43 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealth answers GET /healthz.
+// handleHealth answers GET /healthz: liveness, the runner's execution and
+// store counters, the per-workload pool shape, and the full metrics
+// snapshot. The store record count and pool map are read under the server's
+// read lock, so health reporting observes a consistent view against
+// concurrent pool starts without serializing health probes behind each
+// other.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	h := Health{
 		Status:       "ok",
 		Executions:   s.runner.Executions(),
 		StoreErrors:  s.runner.StoreErrors(),
 		StoreRecords: -1,
+		Pools:        map[string]int{},
 	}
-	if s.store != nil {
-		h.StoreRecords = s.store.Len()
+	s.mu.RLock()
+	store := s.store
+	for workload := range s.pools {
+		h.Pools[workload] = s.workers
 	}
+	s.mu.RUnlock()
+	if store != nil {
+		h.StoreRecords = store.Len()
+	}
+	h.Metrics = s.metrics.Snapshot()
 	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics answers GET /metrics with the Prometheus text exposition of
+// every run_* and serve_* series.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
 }
 
 // writeJSON renders one response body.

@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/c3i/suite"
 	"repro/internal/experiments"
@@ -400,5 +402,204 @@ func TestExperimentRemoteMatchesLocal(t *testing.T) {
 	}
 	if fmt.Sprint(lt) != fmt.Sprint(rt) {
 		t.Error("rendered tables differ between local and remote execution")
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	ts, _, client := newServer(t, "")
+	ctx := context.Background()
+	specs := []run.Spec{hookSpec(1000), hookSpec(1100)}
+	if _, err := client.RunAll(ctx, specs); err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func() string {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + serve.MetricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", serve.MetricsPath, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("metrics Content-Type = %q, want text/plain", ct)
+		}
+		buf, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+
+	body := fetch()
+	for _, want := range []string{
+		"# TYPE run_executions_total counter",
+		`run_executions_total{workload="serve-hook"} 2`,
+		`run_exec_seconds_count{workload="serve-hook"} 2`,
+		"# TYPE serve_requests_total counter",
+		`serve_requests_total{code="2xx",path="/v1/run"} 1`,
+		`serve_pool_workers{workload="serve-hook"} 4`,
+		"# TYPE serve_request_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+
+	// A repeated batch increments request and cache-hit counters but not
+	// executions — the invariant the CI smoke job gates on.
+	if _, err := client.RunAll(ctx, specs); err != nil {
+		t.Fatal(err)
+	}
+	body = fetch()
+	for _, want := range []string{
+		`run_executions_total{workload="serve-hook"} 2`,
+		`run_cache_hits_total{workload="serve-hook"} 2`,
+		`serve_requests_total{code="2xx",path="/v1/run"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("post-repeat metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// POST is not allowed.
+	resp, err := ts.Client().Post(ts.URL+serve.MetricsPath, "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST %s: status %d, want 405", serve.MetricsPath, resp.StatusCode)
+	}
+}
+
+func TestServeStatusClassCounters(t *testing.T) {
+	ts, _, _ := newServer(t, "")
+	// A malformed batch is a 400; it must land in the 4xx class, and an
+	// unknown path in the bounded "other" label.
+	if status, _ := postRaw(t, ts, "{nope"); status != http.StatusBadRequest {
+		t.Fatalf("malformed batch: status %d", status)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/no/such/endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mresp, err := ts.Client().Get(ts.URL + serve.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	buf, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`serve_requests_total{code="4xx",path="/v1/run"} 1`,
+		`serve_requests_total{code="4xx",path="other"} 1`,
+	} {
+		if !strings.Contains(string(buf), want) {
+			t.Errorf("metrics missing %q:\n%s", want, buf)
+		}
+	}
+}
+
+func TestHealthzPoolsAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	_, _, client := newServer(t, dir)
+	ctx := context.Background()
+	if _, err := client.RunAll(ctx, []run.Spec{hookSpec(1200)}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Executions != 1 || h.StoreRecords != 1 {
+		t.Errorf("health = %+v", h)
+	}
+	// Pool shape: the one workload that ran has a pool of the configured
+	// width; never-used workloads have none.
+	if got := h.Pools["serve-hook"]; got != 4 {
+		t.Errorf("pools[serve-hook] = %d, want 4 (WorkersPerWorkload)", got)
+	}
+	if len(h.Pools) != 1 {
+		t.Errorf("pools = %v, want only the started pool", h.Pools)
+	}
+	// The embedded snapshot carries the runner's series.
+	found := false
+	for _, c := range h.Metrics.Counters {
+		if c.Name == run.MetricExecutions && c.Labels["workload"] == "serve-hook" && c.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("healthz snapshot missing %s: %+v", run.MetricExecutions, h.Metrics.Counters)
+	}
+	if len(h.Metrics.Histograms) == 0 {
+		t.Error("healthz snapshot has no histograms")
+	}
+}
+
+func TestPprofGatedByOption(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		srv := serve.New(run.NewRunner(0), serve.Options{WorkersPerWorkload: 1, Pprof: on})
+		ts := httptest.NewServer(srv)
+		resp, err := ts.Client().Get(ts.URL + serve.PprofPrefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want := http.StatusNotFound
+		if on {
+			want = http.StatusOK
+		}
+		if resp.StatusCode != want {
+			t.Errorf("pprof=%v: GET %s status %d, want %d", on, serve.PprofPrefix, resp.StatusCode, want)
+		}
+		ts.Close()
+		srv.Close()
+	}
+}
+
+func TestClientSetsContentTypeAndTimeout(t *testing.T) {
+	// A stub server that records the batch POST's Content-Type and can stall
+	// longer than the client's timeout. The header crosses goroutines on a
+	// channel: the client times out while the handler is still running.
+	contentType := make(chan string, 1)
+	stall := make(chan struct{})
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		contentType <- r.Header.Get("Content-Type")
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+			return
+		}
+		_, _ = w.Write([]byte(`{"records":[null],"errors":["boom"]}`))
+	}))
+	defer stub.Close()
+	defer close(stall)
+
+	// Regression: batch POSTs must declare application/json (a proxy or a
+	// stricter future server may reject untyped bodies).
+	c := &serve.Client{Addr: stub.URL, Timeout: 50 * time.Millisecond}
+	_, err := c.RunBatch(context.Background(), []run.Spec{hookSpec(1300)})
+	if err == nil {
+		t.Fatal("stalled server did not time the request out")
+	}
+	if got := <-contentType; got != "application/json" {
+		t.Errorf("batch POST Content-Type = %q, want application/json", got)
+	}
+
+	// An explicit HTTP client wins over Timeout; the default (no timeout)
+	// client is shared.
+	if hc := (&serve.Client{}).HTTPClientForTest(); hc != http.DefaultClient {
+		t.Error("zero-value client should use http.DefaultClient")
+	}
+	if hc := (&serve.Client{Timeout: time.Second}).HTTPClientForTest(); hc.Timeout != time.Second {
+		t.Errorf("timeout client = %+v, want 1s timeout", hc.Timeout)
+	}
+	override := &http.Client{}
+	if hc := (&serve.Client{HTTP: override, Timeout: time.Second}).HTTPClientForTest(); hc != override {
+		t.Error("explicit HTTP override lost to Timeout")
 	}
 }

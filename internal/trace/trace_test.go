@@ -143,3 +143,80 @@ func TestMachineIntegration(t *testing.T) {
 		t.Logf("smp makespan %v, mta meanlife %v", smpStats.Makespan, mtaStats.MeanLife)
 	}
 }
+
+// A truncated timeline — a ThreadEnd with no matching ThreadStart, as when a
+// log starts recording mid-run or an event stream is cut — must neither
+// panic nor invent a span; it only extends the observed makespan.
+func TestOrphanThreadEndIsIgnored(t *testing.T) {
+	l := New(1)
+	l.Record(Event{T: 5, Thread: "ghost", Kind: ThreadEnd}) // no start
+	l.Record(Event{T: 10, Thread: "real", Kind: ThreadStart})
+	l.Record(Event{T: 30, Thread: "real", Kind: ThreadEnd})
+	l.Record(Event{T: 50, Thread: "ghost", Kind: ThreadEnd}) // another orphan, after everything
+	st := l.Summarize()
+	if st.Threads != 1 {
+		t.Errorf("Threads = %d, want 1 (orphan ends create no spans)", st.Threads)
+	}
+	if st.MeanLife != 20 {
+		t.Errorf("MeanLife = %v, want 20 (the real span only)", st.MeanLife)
+	}
+	if st.Makespan != 50 {
+		t.Errorf("Makespan = %v, want 50 (orphan events still bound the timeline)", st.Makespan)
+	}
+	if out := l.Gantt(40, 10); !strings.Contains(out, "real") || strings.Contains(out, "ghost") {
+		t.Errorf("gantt should render only the real span:\n%s", out)
+	}
+}
+
+// An end for a name with more ends than starts: the extra end must not
+// touch other threads' spans or underflow the open queue.
+func TestExtraEndForReusedNameIsIgnored(t *testing.T) {
+	l := New(1)
+	l.Record(Event{T: 0, Thread: "w", Kind: ThreadStart})
+	l.Record(Event{T: 10, Thread: "w", Kind: ThreadEnd})
+	l.Record(Event{T: 20, Thread: "w", Kind: ThreadEnd}) // no open "w" span left
+	st := l.Summarize()
+	if st.Threads != 1 {
+		t.Fatalf("Threads = %d, want 1", st.Threads)
+	}
+	if st.MeanLife != 10 {
+		t.Errorf("MeanLife = %v, want 10 (second end must not reopen or extend the span)", st.MeanLife)
+	}
+}
+
+// A Mark with no open span for its thread (same truncation scenario) is
+// dropped rather than attributed to an unrelated span.
+func TestOrphanMarkIsIgnored(t *testing.T) {
+	l := New(1)
+	l.Record(Event{T: 1, Thread: "ghost", Kind: Mark, Label: "phase"})
+	l.Record(Event{T: 2, Thread: "real", Kind: ThreadStart})
+	l.Record(Event{T: 9, Thread: "real", Kind: ThreadEnd})
+	if out := l.Gantt(40, 10); strings.Contains(out, "▸") {
+		t.Errorf("orphan mark rendered:\n%s", out)
+	}
+	if st := l.Summarize(); st.Threads != 1 {
+		t.Errorf("Threads = %d, want 1", st.Threads)
+	}
+}
+
+// FIFO pairing under truncation: when one of several same-named threads is
+// missing its start, ends still pair oldest-first and the unmatched tail
+// extends to the timeline end rather than panicking.
+func TestTruncatedReusedNamePairsFIFO(t *testing.T) {
+	l := New(1)
+	l.Record(Event{T: 0, Thread: "w", Kind: ThreadStart})
+	l.Record(Event{T: 5, Thread: "w", Kind: ThreadStart})
+	l.Record(Event{T: 10, Thread: "w", Kind: ThreadEnd}) // pairs with the T=0 start
+	// The T=5 span's end was truncated away; a later event moves the end of
+	// the timeline past it.
+	l.Record(Event{T: 40, Thread: "other", Kind: ThreadStart})
+	l.Record(Event{T: 60, Thread: "other", Kind: ThreadEnd})
+	st := l.Summarize()
+	if st.Threads != 3 {
+		t.Fatalf("Threads = %d, want 3", st.Threads)
+	}
+	// Spans: w[0,10], w[5,60] (unfinished → timeline end), other[40,60].
+	if want := (10.0 + 55.0 + 20.0) / 3.0; st.MeanLife != want {
+		t.Errorf("MeanLife = %v, want %v", st.MeanLife, want)
+	}
+}
