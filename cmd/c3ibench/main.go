@@ -66,7 +66,7 @@ func main() {
 		md      = flag.Bool("md", false, "emit Markdown instead of ASCII tables")
 		jsonOut = flag.Bool("json", false, "emit the raw run records as JSON instead of rendered tables/figures")
 		text    = flag.Bool("text", true, "include free-text output (compiler feedback)")
-		remote  = flag.String("remote", "", "execute run Specs against a c3iserve endpoint (base URL) instead of in-process")
+		remote  = flag.String("remote", "", "execute run Specs against a c3iserve or c3irouter endpoint (base URL) instead of in-process")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf = flag.String("memprofile", "", "write a post-sweep heap profile to this file")
 		stats   = flag.String("stats", "", `write the Runner's metrics snapshot (JSON) after the sweep to this file ("-" = stdout)`)
@@ -114,7 +114,10 @@ func main() {
 		cfg.Scales[name] = *s
 	}
 	if *remote != "" {
-		cfg.Executor = &serve.Client{Addr: *remote}
+		// Client attempt/retry counters land in the same registry -stats
+		// snapshots, so remote transport behaviour is visible next to the
+		// run counters.
+		cfg.Executor = &serve.Client{Addr: *remote, Metrics: experiments.Metrics()}
 	}
 
 	if *jsonOut && *stats == "-" {

@@ -1,11 +1,15 @@
 // Command c3iserve serves the run API over HTTP/JSON: POST a batch of
-// run.Spec values to /v1/run and get positional run.Records back, executed
+// run.Spec values to /v1/run and get positional run.Records back, or to
+// /v1/run/stream to get NDJSON events as each Record completes, executed
 // through one shared, cache-deduplicated run.Runner with per-workload worker
 // pools (shard affinity: the goroutines running a workload's Specs are the
-// ones whose memoized scenario suites are already warm). With -store, every
-// computed Record also persists to a disk store keyed by its canonical Spec
-// key, so identical Specs are answered without recomputation across requests,
-// processes and restarts.
+// ones whose memoized scenario suites are already warm). Each pool's queue is
+// bounded (-queue); a full queue answers 429 with Retry-After instead of
+// blocking the listener. With -store, every computed Record also persists to
+// a disk store keyed by its canonical Spec key, so identical Specs are
+// answered without recomputation across requests, processes and restarts —
+// and several c3iserve processes sharing one -store directory become
+// replicas, fronted by c3irouter.
 //
 // Usage:
 //
@@ -56,6 +60,7 @@ func main() {
 		store   = flag.String("store", "", "record store directory; empty = in-memory caches only")
 		jobs    = flag.Int("jobs", 0, "runner fan-out bound; < 1 means GOMAXPROCS")
 		workers = flag.Int("workers", 0, "workers per workload pool; < 1 means GOMAXPROCS")
+		queue   = flag.Int("queue", 0, "queued specs per workload pool before 429; < 1 means 4x workers")
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout for in-flight batches")
 		client  = flag.Bool("client", false, "client mode: POST a Spec batch (JSON array) from stdin to -addr")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -65,14 +70,14 @@ func main() {
 	if *client {
 		os.Exit(runClient(*addr))
 	}
-	if err := runServer(*addr, *store, *jobs, *workers, *drain, *pprofOn); err != nil {
+	if err := runServer(*addr, *store, *jobs, *workers, *queue, *drain, *pprofOn); err != nil {
 		fmt.Fprintf(os.Stderr, "c3iserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // runServer blocks until the listener fails or a shutdown signal drains it.
-func runServer(addr, storeDir string, jobs, workers int, drain time.Duration, pprofOn bool) error {
+func runServer(addr, storeDir string, jobs, workers, queue int, drain time.Duration, pprofOn bool) error {
 	runner := run.NewRunner(jobs)
 	var ds *run.DiskStore
 	if storeDir != "" {
@@ -86,7 +91,7 @@ func runServer(addr, storeDir string, jobs, workers int, drain time.Duration, pp
 	} else {
 		fmt.Fprintln(os.Stderr, "c3iserve: no -store; records are cached in-memory only")
 	}
-	srv := serve.New(runner, serve.Options{WorkersPerWorkload: workers, Store: ds, Pprof: pprofOn})
+	srv := serve.New(runner, serve.Options{WorkersPerWorkload: workers, QueueDepth: queue, Store: ds, Pprof: pprofOn})
 	hs := &http.Server{Addr: addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,7 +99,7 @@ func runServer(addr, storeDir string, jobs, workers int, drain time.Duration, pp
 
 	errCh := make(chan error, 1)
 	go func() {
-		endpoints := fmt.Sprintf("POST %s, GET %s, GET %s", serve.RunPath, serve.HealthPath, serve.MetricsPath)
+		endpoints := fmt.Sprintf("POST %s, POST %s, GET %s, GET %s", serve.RunPath, serve.StreamPath, serve.HealthPath, serve.MetricsPath)
 		if pprofOn {
 			endpoints += ", GET " + serve.PprofPrefix
 		}

@@ -1,0 +1,158 @@
+package router
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// State is one shard's position in the router's health state machine.
+//
+//	up ──failure──▶ degraded ──DownAfter consecutive failures──▶ down
+//	▲                  │                                           │
+//	└──────success─────┴───────────────success─────────────────────┘
+//
+// Degraded shards still take traffic (one failure is usually a blip); down
+// shards are bypassed at partition time until a probe or a desperation
+// request succeeds.
+type State int32
+
+const (
+	StateUp State = iota
+	StateDegraded
+	StateDown
+)
+
+// String renders the state for /healthz.
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// currentState reads the shard's state under its lock.
+func (sh *shard) currentState() State {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.state
+}
+
+// observe feeds one outcome — probe or routed request — into the shard's
+// state machine and mirrors routability to the router_shard_up gauge.
+func (rt *Router) observe(sh *shard, ok bool) {
+	sh.mu.Lock()
+	if ok {
+		sh.fails = 0
+		sh.state = StateUp
+	} else {
+		sh.fails++
+		if sh.fails >= rt.downAfter {
+			sh.state = StateDown
+		} else {
+			sh.state = StateDegraded
+		}
+	}
+	state := sh.state
+	sh.mu.Unlock()
+	up := int64(1)
+	if state == StateDown {
+		up = 0
+	}
+	rt.metrics.Gauge(MetricShardUp, obs.Labels{"shard": sh.cfg.URL}).Set(up)
+}
+
+// Start launches the periodic health probes: every shard's /healthz is
+// fetched concurrently each interval, and each verdict drives that shard's
+// state machine. Probing is what brings a down shard back — routed traffic
+// bypasses it, so without probes a recovered shard would stay black-listed
+// until a desperation request happened to land on it.
+func (rt *Router) Start() {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.probeAll()
+		t := time.NewTicker(rt.probeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.quit:
+				return
+			case <-t.C:
+				rt.probeAll()
+			}
+		}
+	}()
+}
+
+// probeAll probes every shard concurrently and waits for the verdicts.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			ctx, cancel := rt.probeCtx()
+			defer cancel()
+			_, err := sh.client.Healthz(ctx)
+			rt.observe(sh, err == nil)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// ShardHealth is one shard's entry in the router's /healthz body.
+type ShardHealth struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// ConsecutiveFailures is the state machine's failure streak (0 when up).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Workloads is the shard's configured constraint; empty means all.
+	Workloads []string `json:"workloads,omitempty"`
+}
+
+// Health is the router's /healthz body: overall status ("ok" when every
+// shard is routable, "degraded" when some are down but at least one remains,
+// "down" when none are), the per-shard state, and the full metrics snapshot.
+type Health struct {
+	Status  string        `json:"status"`
+	Shards  []ShardHealth `json:"shards"`
+	Metrics obs.Snapshot  `json:"metrics"`
+}
+
+// handleHealth answers GET /healthz.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{Shards: make([]ShardHealth, 0, len(rt.shards))}
+	routable := 0
+	for _, sh := range rt.shards {
+		sh.mu.Lock()
+		state, fails := sh.state, sh.fails
+		sh.mu.Unlock()
+		if state != StateDown {
+			routable++
+		}
+		h.Shards = append(h.Shards, ShardHealth{
+			URL:                 sh.cfg.URL,
+			State:               state.String(),
+			ConsecutiveFailures: fails,
+			Workloads:           sh.cfg.Workloads,
+		})
+	}
+	switch {
+	case routable == len(rt.shards):
+		h.Status = "ok"
+	case routable > 0:
+		h.Status = "degraded"
+	default:
+		h.Status = "down"
+	}
+	h.Metrics = rt.metrics.Snapshot()
+	serve.WriteJSON(w, http.StatusOK, h)
+}

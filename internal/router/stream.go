@@ -1,0 +1,112 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/run"
+	"repro/internal/serve"
+)
+
+// handleStream answers POST /v1/run/stream by streaming each shard's
+// /v1/run/stream back to the caller: sub-batch events are remapped to the
+// original batch's indices and forwarded (and flushed) the moment they
+// arrive, so the client sees one merged incremental stream regardless of how
+// many shards are computing. A shard whose stream dies mid-flight fails over
+// like a batch would — the events it already delivered are final (Specs are
+// deterministic, so a record is a record wherever it was computed), and only
+// the undelivered remainder is re-partitioned onto the live candidates.
+func (rt *Router) handleStream(w http.ResponseWriter, r *http.Request) {
+	specs, ok := serve.DecodeBatch(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // no indent: one event per line
+
+	// emit serializes event lines across the per-shard stream goroutines.
+	// Once a write fails the client is gone; remaining events are dropped
+	// (the shards still finish and warm their caches).
+	var wmu sync.Mutex
+	aborted := false
+	emit := func(ev serve.StreamEvent) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if aborted {
+			return
+		}
+		if err := enc.Encode(ev); err != nil {
+			aborted = true
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	pending := make([]int, len(specs))
+	for i := range specs {
+		pending[i] = i
+	}
+	excluded := map[*shard]bool{}
+	for len(pending) > 0 {
+		if r.Context().Err() != nil {
+			return
+		}
+		errs := make([]string, len(specs))
+		groups, failovers := rt.plan(specs, pending, excluded, errs)
+		for sh, n := range failovers {
+			rt.metrics.Counter(MetricShardFailovers, obs.Labels{"shard": sh.cfg.URL}).Add(n)
+		}
+		// Specs plan could not route are resolved now, as error events.
+		for _, i := range pending {
+			if errs[i] != "" {
+				emit(serve.StreamEvent{Index: i, Error: errs[i]})
+			}
+		}
+		if len(groups) == 0 {
+			return
+		}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var refeed []int
+		for sh, idxs := range groups {
+			wg.Add(1)
+			go func(sh *shard, idxs []int) {
+				defer wg.Done()
+				sub := make([]run.Spec, len(idxs))
+				for j, i := range idxs {
+					sub[j] = specs[i]
+				}
+				seen := make([]bool, len(idxs))
+				err := sh.client.RunStream(r.Context(), sub, func(ev serve.StreamEvent) {
+					seen[ev.Index] = true
+					ev.Index = idxs[ev.Index]
+					emit(ev)
+				})
+				rt.observeShard(sh, err == nil)
+				if err != nil {
+					// Fail the undelivered remainder over; delivered events
+					// are final.
+					rt.metrics.Counter(MetricShardFailovers, obs.Labels{"shard": sh.cfg.URL}).Inc()
+					mu.Lock()
+					excluded[sh] = true
+					for j, i := range idxs {
+						if !seen[j] {
+							refeed = append(refeed, i)
+						}
+					}
+					mu.Unlock()
+				}
+			}(sh, idxs)
+		}
+		wg.Wait()
+		sort.Ints(refeed)
+		pending = refeed
+	}
+}

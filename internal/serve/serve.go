@@ -18,6 +18,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -35,6 +36,7 @@ import (
 // The server's endpoints. PprofPrefix is only mounted with Options.Pprof.
 const (
 	RunPath     = "/v1/run"
+	StreamPath  = "/v1/run/stream"
 	HealthPath  = "/healthz"
 	MetricsPath = "/metrics"
 	PprofPrefix = "/debug/pprof/"
@@ -57,6 +59,10 @@ const (
 	// yet picked up by a worker — sustained nonzero depth means the pool is
 	// saturated.
 	MetricPoolQueueDepth = "serve_pool_queue_depth"
+	// MetricRejected counts batches turned away with 429 because a workload
+	// pool's bounded queue was full, labeled {workload=...} by the workload
+	// whose queue rejected the Spec. Admission control, observable.
+	MetricRejected = "serve_rejected_total"
 )
 
 // MaxBatchBytes bounds a request body; a batch of Specs is small, so
@@ -106,6 +112,13 @@ type Options struct {
 	// WorkersPerWorkload bounds each workload's executor pool; < 1 means
 	// GOMAXPROCS.
 	WorkersPerWorkload int
+	// QueueDepth bounds how many Specs can wait in each workload pool's
+	// queue beyond the ones workers already hold; < 1 means 4× the worker
+	// count. A Spec arriving at a full queue is rejected with HTTP 429 and a
+	// Retry-After header (admission control) instead of blocking the handler
+	// goroutine — the client's retry/backoff (or the router's failover to a
+	// replica) resolves the overload, not a pile of parked handlers.
+	QueueDepth int
 	// Store, when non-nil, is reported in /healthz (record counts). The
 	// store must already be attached to the Runner via SetStore; the server
 	// never writes it directly.
@@ -123,6 +136,7 @@ type Options struct {
 type Server struct {
 	runner  *run.Runner
 	workers int
+	queue   int
 	metrics *obs.Registry
 	mux     *http.ServeMux
 
@@ -155,9 +169,14 @@ func New(runner *run.Runner, opts Options) *Server {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	queue := opts.QueueDepth
+	if queue < 1 {
+		queue = 4 * workers
+	}
 	s := &Server{
 		runner:  runner,
 		workers: workers,
+		queue:   queue,
 		metrics: runner.Metrics(),
 		store:   opts.Store,
 		pools:   map[string]chan task{},
@@ -165,6 +184,7 @@ func New(runner *run.Runner, opts Options) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(RunPath, s.handleRun)
+	s.mux.HandleFunc(StreamPath, s.handleStream)
 	s.mux.HandleFunc(HealthPath, s.handleHealth)
 	s.mux.HandleFunc(MetricsPath, s.handleMetrics)
 	if opts.Pprof {
@@ -199,7 +219,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // cannot grow unbounded metric series.
 func endpointLabel(path string) string {
 	switch path {
-	case RunPath, HealthPath, MetricsPath:
+	case RunPath, StreamPath, HealthPath, MetricsPath:
 		return path
 	}
 	if strings.HasPrefix(path, PprofPrefix) {
@@ -261,9 +281,14 @@ func (s *Server) pool(workload string) (chan task, error) {
 	}
 	ch, ok := s.pools[workload]
 	if !ok {
-		ch = make(chan task)
+		ch = make(chan task, s.queue)
 		s.pools[workload] = ch
 		s.metrics.Gauge(MetricPoolWorkers, obs.Labels{"workload": workload}).Set(int64(s.workers))
+		// The queue-depth gauge spans the window a Spec sits in the bounded
+		// queue before a worker picks it up: sustained nonzero depth on
+		// /metrics means this pool is saturated, and depth at capacity is
+		// what turns into 429 rejections.
+		depth := s.metrics.Gauge(MetricPoolQueueDepth, obs.Labels{"workload": workload})
 		for i := 0; i < s.workers; i++ {
 			s.wg.Add(1)
 			go func() {
@@ -273,6 +298,7 @@ func (s *Server) pool(workload string) (chan task, error) {
 					case <-s.quit:
 						return
 					case t := <-ch:
+						depth.Dec()
 						rec, err := s.runner.Run(t.ctx, t.spec)
 						t.done <- taskResult{rec, err}
 					}
@@ -283,34 +309,91 @@ func (s *Server) pool(workload string) (chan task, error) {
 	return ch, nil
 }
 
-// handleRun answers POST /v1/run.
-func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+// errQueueFull is the admission-control rejection: the workload pool's
+// bounded queue had no room for the Spec.
+var errQueueFull = fmt.Errorf("serve: workload queue is full")
+
+// dispatch hands one validated Spec to its workload pool without ever
+// blocking: the pool's bounded queue either has room now or the Spec is
+// rejected (errQueueFull) for the caller to turn into a 429. Results arrive
+// on done (buffered, so the worker's send never blocks).
+func (s *Server) dispatch(ctx context.Context, spec run.Spec, done chan taskResult) error {
+	ch, err := s.pool(spec.Workload)
+	if err != nil {
+		return err
+	}
+	depth := s.metrics.Gauge(MetricPoolQueueDepth, obs.Labels{"workload": spec.Workload})
+	depth.Inc()
+	select {
+	case ch <- task{ctx: ctx, spec: spec, done: done}:
+		return nil
+	default:
+		depth.Dec()
+		s.metrics.Counter(MetricRejected, obs.Labels{"workload": spec.Workload}).Inc()
+		return errQueueFull
+	}
+}
+
+// rejectOverload answers a full-queue dispatch with 429 + Retry-After —
+// the admission-control contract the client's backoff and the router's
+// failover are written against.
+func rejectOverload(w http.ResponseWriter, spec run.Spec, index int) {
+	w.Header().Set("Retry-After", "1")
+	WriteJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error: fmt.Sprintf("workload %q pool queue is full (spec %d); retry later", spec.Workload, index),
+	})
+}
+
+// collect waits for one dispatched task's result. During a shutdown the
+// bounded queue may still hold tasks no worker will ever take, so waiting
+// selects the quit signal too — preferring a result that raced it — and
+// reports ok=false when the task was abandoned.
+func (s *Server) collect(done chan taskResult) (taskResult, bool) {
+	select {
+	case res := <-done:
+		return res, true
+	case <-s.quit:
+		select {
+		case res := <-done:
+			return res, true
+		default:
+			return taskResult{}, false
+		}
+	}
+}
+
+// DecodeBatch reads and decodes the Spec batch POSTed to /v1/run or
+// /v1/run/stream — shared by the serving tier and the router, so both speak
+// exactly the same wire dialect (method check, size bound, two-stage decode
+// with positional element errors). On any failure it has already written the
+// error response and reports ok=false.
+func DecodeBatch(w http.ResponseWriter, r *http.Request) ([]run.Spec, bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST a JSON array of run Specs"})
-		return
+		WriteJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST a JSON array of run Specs"})
+		return nil, false
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBatchBytes+1))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("reading body: %v", err)})
-		return
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("reading body: %v", err)})
+		return nil, false
 	}
 	if len(body) > MaxBatchBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge,
+		WriteJSON(w, http.StatusRequestEntityTooLarge,
 			ErrorResponse{Error: fmt.Sprintf("batch exceeds %d bytes", MaxBatchBytes)})
-		return
+		return nil, false
 	}
 	// Decode the batch in two stages so one malformed element reports its
 	// index instead of poisoning the whole body with a positionless error.
 	var raw []json.RawMessage
 	if err := json.Unmarshal(body, &raw); err != nil {
-		writeJSON(w, http.StatusBadRequest,
+		WriteJSON(w, http.StatusBadRequest,
 			ErrorResponse{Error: fmt.Sprintf("batch must be a JSON array of run Specs: %v", err)})
-		return
+		return nil, false
 	}
 	if len(raw) == 0 {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty batch"})
-		return
+		WriteJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty batch"})
+		return nil, false
 	}
 	specs := make([]run.Spec, len(raw))
 	decodeErrs := make([]string, len(raw))
@@ -322,11 +405,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if bad {
-		writeJSON(w, http.StatusBadRequest,
+		WriteJSON(w, http.StatusBadRequest,
 			ErrorResponse{Error: "malformed specs in batch", Errors: decodeErrs})
+		return nil, false
+	}
+	return specs, true
+}
+
+// handleRun answers POST /v1/run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	specs, ok := DecodeBatch(w, r)
+	if !ok {
 		return
 	}
-
 	resp := BatchResponse{
 		Records: make([]*run.Record, len(specs)),
 		Errors:  make([]string, len(specs)),
@@ -340,36 +431,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			resp.Errors[i] = err.Error()
 			continue
 		}
-		ch, err := s.pool(spec.Workload)
-		if err != nil {
-			resp.Errors[i] = err.Error()
-			continue
-		}
 		done := make(chan taskResult, 1)
-		results[i] = done
-		// The queue-depth gauge spans exactly the window where the Spec has
-		// been handed to the pool but no worker has picked it up: sustained
-		// nonzero depth on /metrics means that workload's pool is saturated.
-		depth := s.metrics.Gauge(MetricPoolQueueDepth, obs.Labels{"workload": spec.Workload})
-		depth.Inc()
-		select {
-		case ch <- task{ctx: r.Context(), spec: spec, done: done}:
-			// A worker holds the task now; its result send is buffered, so
-			// collection below cannot deadlock even if the server quits.
-		case <-r.Context().Done():
-			results[i] = nil
-			resp.Errors[i] = r.Context().Err().Error()
-		case <-s.quit:
-			results[i] = nil
-			resp.Errors[i] = "serve: server is shut down"
+		switch err := s.dispatch(r.Context(), spec, done); {
+		case err == nil:
+			results[i] = done
+		case errors.Is(err, errQueueFull):
+			// Admission control: reject the whole batch rather than block
+			// the handler on a saturated pool. Specs dispatched above ride
+			// the request context, which cancels when this handler returns —
+			// a rejected batch abandons its queued work instead of loading
+			// the saturated pool further.
+			rejectOverload(w, spec, i)
+			return
+		default:
+			resp.Errors[i] = err.Error()
 		}
-		depth.Dec()
 	}
 	for i, done := range results {
 		if done == nil {
 			continue
 		}
-		res := <-done
+		res, ok := s.collect(done)
+		if !ok {
+			resp.Errors[i] = "serve: server is shut down"
+			continue
+		}
 		if res.err != nil {
 			resp.Errors[i] = res.err.Error()
 			continue
@@ -377,7 +463,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		rec := res.rec
 		resp.Records[i] = &rec
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 // handleHealth answers GET /healthz: liveness, the runner's execution and
@@ -404,7 +490,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		h.StoreRecords = store.Len()
 	}
 	h.Metrics = s.metrics.Snapshot()
-	writeJSON(w, http.StatusOK, h)
+	WriteJSON(w, http.StatusOK, h)
 }
 
 // handleMetrics answers GET /metrics with the Prometheus text exposition of
@@ -419,8 +505,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WritePrometheus(w)
 }
 
-// writeJSON renders one response body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON renders one JSON response body — shared by the serving tier and
+// the router, so error and batch bodies are formatted identically everywhere.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)

@@ -580,8 +580,10 @@ func TestClientSetsContentTypeAndTimeout(t *testing.T) {
 	defer close(stall)
 
 	// Regression: batch POSTs must declare application/json (a proxy or a
-	// stricter future server may reject untyped bodies).
-	c := &serve.Client{Addr: stub.URL, Timeout: 50 * time.Millisecond}
+	// stricter future server may reject untyped bodies). Retries are off:
+	// the stub records each attempt's header on an unbuffered-ish channel,
+	// so a retrying client would park extra handlers on it.
+	c := &serve.Client{Addr: stub.URL, Timeout: 50 * time.Millisecond, Retries: -1}
 	_, err := c.RunBatch(context.Background(), []run.Spec{hookSpec(1300)})
 	if err == nil {
 		t.Fatal("stalled server did not time the request out")

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/c3i/suite"
+	"repro/internal/run"
+)
+
+// StreamEvent is one line of a /v1/run/stream response: NDJSON, one JSON
+// object per line, emitted as each Spec's Record completes rather than at
+// batch end. Index addresses the submitted batch positionally, and exactly
+// one of Record and Error is set — the same per-spec contract as
+// BatchResponse, delivered incrementally. Every submitted Spec produces
+// exactly one event; arrival order is completion order, not batch order.
+type StreamEvent struct {
+	Index  int         `json:"index"`
+	Record *run.Record `json:"record,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// streamEvent renders a task result as its event.
+func streamEvent(index int, res taskResult) StreamEvent {
+	if res.err != nil {
+		return StreamEvent{Index: index, Error: res.err.Error()}
+	}
+	rec := res.rec
+	return StreamEvent{Index: index, Record: &rec}
+}
+
+// handleStream answers POST /v1/run/stream: the same Spec batch as /v1/run,
+// but the response is NDJSON StreamEvents written (and flushed) as Records
+// complete, so a long sweep yields results incrementally. Admission control
+// is decided before the first byte is written — a full workload queue still
+// answers a clean 429 — after which the response is committed and per-spec
+// problems travel as error events.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	specs, ok := DecodeBatch(w, r)
+	if !ok {
+		return
+	}
+	// Dispatch everything first. Immediate failures (unknown workload, shut
+	// down) become events up front; dispatched Specs get a collector that
+	// forwards their result to the shared events channel. The channel holds
+	// the whole batch, so collectors never block and cannot leak even if the
+	// client disconnects mid-stream.
+	events := make(chan StreamEvent, len(specs))
+	pre := make([]StreamEvent, 0, len(specs))
+	pending := 0
+	for i, spec := range specs {
+		if _, err := suite.Lookup(spec.Workload); err != nil {
+			pre = append(pre, StreamEvent{Index: i, Error: err.Error()})
+			continue
+		}
+		done := make(chan taskResult, 1)
+		switch err := s.dispatch(r.Context(), spec, done); {
+		case err == nil:
+			pending++
+			go func(i int, done chan taskResult) {
+				if res, ok := s.collect(done); ok {
+					events <- streamEvent(i, res)
+				} else {
+					events <- StreamEvent{Index: i, Error: "serve: server is shut down"}
+				}
+			}(i, done)
+		case errors.Is(err, errQueueFull):
+			rejectOverload(w, spec, i)
+			return
+		default:
+			pre = append(pre, StreamEvent{Index: i, Error: err.Error()})
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // no indent: one event per line
+	emit := func(ev StreamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false // client gone; collectors drain into the buffer
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, ev := range pre {
+		if !emit(ev) {
+			return
+		}
+	}
+	for n := 0; n < pending; n++ {
+		select {
+		case ev := <-events:
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
