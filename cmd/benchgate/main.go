@@ -1,80 +1,158 @@
-// Command benchgate is the benchmark-regression CI gate: it converts
-// benchmark measurements into a committed JSON artifact and compares two
-// artifacts with per-family ratio thresholds. The "benchmarks" family
-// (ns/op from `go test -bench` output) gets a generous gate — shared
-// runners are noisy and the baseline may come from different hardware —
-// while the "model_s" family (simulated seconds from `c3ibench -json` run
-// records) is deterministic for a given tree, so it gates model-shape
-// regressions with a tight threshold even when host time is flat.
+// Command benchgate is the performance-regression CI gate: it converts
+// measurements into a committed JSON artifact and compares two artifacts
+// with per-family ratio thresholds. The families are table-driven (see
+// internal/benchgate): "benchmarks" (host ns/op from `go test -bench`
+// output, generous default gate — shared runners are noisy), "model_s"
+// (simulated seconds from `c3ibench -json` records, tight gate — the model
+// is deterministic for a given tree) and "serve_latency" (client-side
+// p50/p95/p99 per endpoint from a `c3iload` artifact).
 //
 //	go test -bench . -benchtime 1x -run '^$' . | benchgate -parse -out BENCH_pr.json
-//	c3ibench -run table2,table5 -json > records.json
-//	benchgate -parse -in bench.txt -records records.json -out BENCH_pr.json
-//	benchgate -baseline BENCH_baseline.json -current BENCH_pr.json -max-ratio 2 -max-model-ratio 1.5
+//	benchgate -parse -in bench.txt -src model_s=records.json -out BENCH_pr.json
+//	benchgate -parse -src serve_latency=load.json -out BENCH_serve_pr.json
+//	benchgate -baseline BENCH_baseline.json -current BENCH_pr.json \
+//	    -family benchmarks=2 -family model_s=1.5
+//
+// -family name=ratio overrides one family's gate (repeatable; unset families
+// use the table defaults). -src name=path feeds one family's source to
+// -parse (repeatable); bare `-parse` with no -src reads `go test -bench`
+// output from stdin, preserving the original pipe idiom. The pre-table
+// flags -in, -records, -max-ratio and -max-model-ratio remain as deprecated
+// aliases.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/benchgate"
 )
 
+// kvFlag collects repeatable name=value flags into an ordered key set.
+type kvFlag struct {
+	name   string // flag name, for error messages
+	keys   []string
+	values map[string]string
+}
+
+func (f *kvFlag) String() string {
+	var parts []string
+	for _, k := range f.keys {
+		parts = append(parts, k+"="+f.values[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *kvFlag) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" || value == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	if _, err := benchgate.FamilyByName(name); err != nil {
+		return err
+	}
+	if f.values == nil {
+		f.values = map[string]string{}
+	}
+	if _, dup := f.values[name]; dup {
+		return fmt.Errorf("-%s %s given twice", f.name, name)
+	}
+	f.keys = append(f.keys, name)
+	f.values[name] = value
+	return nil
+}
+
+// set records a value arriving through a deprecated alias flag, deferring to
+// an explicit -family/-src for the same family.
+func (f *kvFlag) set(name, value string) {
+	if _, ok := f.values[name]; ok {
+		return
+	}
+	if f.values == nil {
+		f.values = map[string]string{}
+	}
+	f.keys = append(f.keys, name)
+	f.values[name] = value
+}
+
 func main() {
 	var (
-		parse         = flag.Bool("parse", false, "read `go test -bench` output and write a JSON artifact")
-		in            = flag.String("in", "-", "bench output to parse (- = stdin)")
-		records       = flag.String("records", "", "c3ibench -json records file; adds the model_s family to the artifact")
-		out           = flag.String("out", "BENCH_pr.json", "artifact path to write with -parse")
-		baseline      = flag.String("baseline", "", "baseline artifact to compare against")
-		current       = flag.String("current", "", "current artifact to compare")
-		maxRatio      = flag.Float64("max-ratio", 2.0, "fail when current/baseline ns/op exceeds this")
-		maxModelRatio = flag.Float64("max-model-ratio", 1.5, "fail when current/baseline model_s exceeds this")
+		parse    = flag.Bool("parse", false, "build a JSON artifact from the -src inputs (no -src: benchmarks from stdin)")
+		out      = flag.String("out", "BENCH_pr.json", "artifact path to write with -parse")
+		baseline = flag.String("baseline", "", "baseline artifact to compare against")
+		current  = flag.String("current", "", "current artifact to compare")
+
+		srcs       = kvFlag{name: "src"}
+		thresholds = kvFlag{name: "family"}
+
+		// Deprecated aliases from the two-family era.
+		in            = flag.String("in", "", "deprecated alias for -src benchmarks=PATH (- = stdin)")
+		records       = flag.String("records", "", "deprecated alias for -src model_s=PATH")
+		maxRatio      = flag.Float64("max-ratio", 0, "deprecated alias for -family benchmarks=RATIO")
+		maxModelRatio = flag.Float64("max-model-ratio", 0, "deprecated alias for -family model_s=RATIO")
 	)
+	flag.Var(&srcs, "src", "family=path source for -parse (repeatable); see internal/benchgate for the declared families")
+	flag.Var(&thresholds, "family", "family=ratio gate override for comparison (repeatable; unset families use table defaults)")
 	flag.Parse()
 
-	if *records != "" && !*parse {
-		// -records feeds artifact *construction*; in compare mode both
-		// families come from the artifacts themselves. Silently ignoring it
-		// would skip the model_s gate the caller asked for.
-		fmt.Fprintln(os.Stderr, "benchgate: -records is only meaningful with -parse (compare mode reads model_s from the artifacts)")
+	if *in != "" {
+		srcs.set(benchgate.FamilyBenchmarks, *in)
+	}
+	if *records != "" {
+		srcs.set(benchgate.FamilyModelS, *records)
+	}
+	if *maxRatio != 0 {
+		thresholds.set(benchgate.FamilyBenchmarks, strconv.FormatFloat(*maxRatio, 'g', -1, 64))
+	}
+	if *maxModelRatio != 0 {
+		thresholds.set(benchgate.FamilyModelS, strconv.FormatFloat(*maxModelRatio, 'g', -1, 64))
+	}
+
+	if len(srcs.keys) > 0 && !*parse {
+		// Sources feed artifact *construction*; in compare mode every family
+		// comes from the artifacts themselves. Silently ignoring them would
+		// skip a gate the caller asked for.
+		fmt.Fprintln(os.Stderr, "benchgate: -src/-in/-records are only meaningful with -parse (compare mode reads families from the artifacts)")
 		os.Exit(2)
 	}
 
 	switch {
 	case *parse:
-		var r io.Reader = os.Stdin
-		if *in != "-" {
-			f, err := os.Open(*in)
+		if len(srcs.keys) == 0 {
+			// The original pipe idiom: `go test -bench . | benchgate -parse`.
+			srcs.set(benchgate.FamilyBenchmarks, "-")
+		}
+		rep := &benchgate.Report{}
+		for _, name := range srcs.keys {
+			fam, err := benchgate.FamilyByName(name)
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
-			r = f
-		}
-		rep, err := benchgate.Parse(r)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *records != "" {
-			f, err := os.Open(*records)
+			src := os.Stdin
+			if path := srcs.values[name]; path != "-" {
+				f, err := os.Open(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				src = f
+			}
+			entries, err := fam.Extract(src)
 			if err != nil {
 				log.Fatal(err)
 			}
-			rep.ModelS, err = benchgate.ParseRecords(f)
-			f.Close()
-			if err != nil {
+			if err := rep.Set(name, entries); err != nil {
 				log.Fatal(err)
 			}
 		}
 		if err := rep.WriteFile(*out); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("benchgate: wrote %s (%d benchmarks, %d model_s entries)\n",
-			*out, len(rep.Benchmarks), len(rep.ModelS))
+		fmt.Printf("benchgate: wrote %s (%s)\n", *out, rep.Summary())
 	case *baseline != "" && *current != "":
 		base, err := benchgate.ReadFile(*baseline)
 		if err != nil {
@@ -84,7 +162,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cmp, err := benchgate.Compare(base, cur, *maxRatio, *maxModelRatio)
+		overrides := map[string]float64{}
+		for name, raw := range thresholds.values {
+			ratio, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				log.Fatalf("benchgate: -family %s=%s: %v", name, raw, err)
+			}
+			overrides[name] = ratio
+		}
+		cmp, err := benchgate.Compare(base, cur, overrides)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,7 +178,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "benchgate: use -parse [-in bench.txt] [-records records.json] -out X.json, or -baseline X.json -current Y.json")
+		fmt.Fprintln(os.Stderr, "benchgate: use -parse [-src family=path ...] -out X.json, or -baseline X.json -current Y.json [-family name=ratio ...]")
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,126 @@
+// Command c3iload load-tests a c3iserve or c3irouter endpoint: it replays a
+// registry-enumerated Spec mix over both the batch (POST /v1/run) and NDJSON
+// stream (POST /v1/run/stream) transports at a target request rate with
+// open-loop pacing, and writes a CI-ready JSON artifact — achieved RPS,
+// delivered Record throughput, client-side p50/p95/p99 latency per endpoint,
+// error/429/drop counts, and a stepped-RPS saturation curve.
+//
+// The traffic is a pure function of the flags: one seeded RNG draws the
+// endpoint split, batch sizes, workload mix and the cold/warm/cached Spec
+// temperature (cached = exact repeat the server answers from its record
+// cache; warm = fresh key in a touched workload×scale, memoized scenarios
+// but real execution; cold = fresh workload×scale, scenario generation
+// included). Same seed, same schedule — artifacts are comparable across
+// commits, which is what the benchgate serve_latency family gates on.
+//
+//	c3iserve -addr :8642 &
+//	c3iload -addr http://localhost:8642 -rps 200 -duration 10s -out load.json
+//	c3iload -addr http://localhost:8642 -steps 50,100,200,400 -duration 5s \
+//	    -mix cold=0.05,warm=0.2,cached=0.75 -stream-ratio 0.5 -seed 42 -out curve.json
+//	benchgate -parse -src serve_latency=load.json -out BENCH_serve_pr.json
+//
+// Exit status: 0 with the artifact written, 1 when the target is unhealthy
+// or the run fails, 2 for unusable flags.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "repro/internal/c3i/plottrack" // register the Plot-Track Assignment workload
+	_ "repro/internal/c3i/route"     // register the Route Optimization workload
+	_ "repro/internal/c3i/terrain"   // register the Terrain Masking workload
+	_ "repro/internal/c3i/threat"    // register the Threat Analysis workload
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8642", "target base URL (a c3iserve or c3irouter)")
+		rps         = flag.Float64("rps", 100, "target request rate for a single-step run")
+		steps       = flag.String("steps", "", "comma-separated RPS sweep (overrides -rps), e.g. 50,100,200,400")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window per step")
+		warmup      = flag.Duration("warmup", 1*time.Second, "unrecorded lead-in per step, paced at the step's rate")
+		mix         = flag.String("mix", "cold=0.05,warm=0.20,cached=0.75", "cold/warm/cached Spec temperature weights")
+		batch       = flag.String("batch", "1=6,4=3,8=1", "weighted batch-size distribution (size=weight,...)")
+		workloads   = flag.String("workloads", "", "weighted workload mix (name=weight,...); empty = all registered, equal weight")
+		streamRatio = flag.Float64("stream-ratio", 0.5, "fraction of requests sent to the NDJSON stream endpoint")
+		scale       = flag.Float64("scale", 0.02, "base Spec scale (cold Specs derive fresh scales from it)")
+		platform    = flag.String("platform", "tera", "machine model Specs request")
+		procs       = flag.Int("procs", 1, "modeled processor count Specs request")
+		validate    = flag.Bool("validate", false, "request checksummed outputs instead of charge-only runs")
+		seed        = flag.Int64("seed", 1, "RNG seed; the whole schedule is a pure function of the flags and this")
+		maxInflight = flag.Int("max-inflight", 256, "outstanding-request bound; over-limit launches are counted as dropped")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout; 0 = none")
+		out         = flag.String("out", "-", "artifact path (- = stdout)")
+		quiet       = flag.Bool("quiet", false, "suppress per-step progress lines on stderr")
+	)
+	flag.Parse()
+
+	cfg := load.Config{
+		Addr:         *addr,
+		Steps:        []float64{*rps},
+		StepDuration: *duration,
+		Warmup:       *warmup,
+		StreamRatio:  *streamRatio,
+		Scale:        *scale,
+		Platform:     *platform,
+		Procs:        *procs,
+		Validate:     *validate,
+		Seed:         *seed,
+		MaxInflight:  *maxInflight,
+		Timeout:      *timeout,
+	}
+	fail2 := func(err error) {
+		fmt.Fprintf(os.Stderr, "c3iload: %v\n", err)
+		os.Exit(2)
+	}
+	var err error
+	if *steps != "" {
+		if cfg.Steps, err = load.ParseSteps(*steps); err != nil {
+			fail2(err)
+		}
+	}
+	if cfg.Mix, err = load.ParseMix(*mix); err != nil {
+		fail2(err)
+	}
+	if cfg.BatchSizes, err = load.ParseIntDist(*batch); err != nil {
+		fail2(err)
+	}
+	if *workloads != "" {
+		if cfg.Workloads, err = load.ParseNameDist(*workloads); err != nil {
+			fail2(err)
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "c3iload: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	h, err := load.New(cfg, logf)
+	if err != nil {
+		fail2(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := h.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c3iload: %v\n", err)
+		os.Exit(1)
+	}
+	if err := res.WriteFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "c3iload: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "-" && !*quiet {
+		fmt.Fprintf(os.Stderr, "c3iload: wrote %s (%d steps, %d endpoints)\n", *out, len(res.Curve), len(res.Endpoints))
+	}
+}

@@ -64,20 +64,21 @@ func main() {
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout for in-flight batches")
 		client  = flag.Bool("client", false, "client mode: POST a Spec batch (JSON array) from stdin to -addr")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slow    = flag.Duration("slowdown", 0, "inject an artificial delay into every run request (fault injection for latency-gate validation)")
 	)
 	flag.Parse()
 
 	if *client {
 		os.Exit(runClient(*addr))
 	}
-	if err := runServer(*addr, *store, *jobs, *workers, *queue, *drain, *pprofOn); err != nil {
+	if err := runServer(*addr, *store, *jobs, *workers, *queue, *drain, *pprofOn, *slow); err != nil {
 		fmt.Fprintf(os.Stderr, "c3iserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // runServer blocks until the listener fails or a shutdown signal drains it.
-func runServer(addr, storeDir string, jobs, workers, queue int, drain time.Duration, pprofOn bool) error {
+func runServer(addr, storeDir string, jobs, workers, queue int, drain time.Duration, pprofOn bool, slow time.Duration) error {
 	runner := run.NewRunner(jobs)
 	var ds *run.DiskStore
 	if storeDir != "" {
@@ -91,7 +92,12 @@ func runServer(addr, storeDir string, jobs, workers, queue int, drain time.Durat
 	} else {
 		fmt.Fprintln(os.Stderr, "c3iserve: no -store; records are cached in-memory only")
 	}
-	srv := serve.New(runner, serve.Options{WorkersPerWorkload: workers, QueueDepth: queue, Store: ds, Pprof: pprofOn})
+	if slow > 0 {
+		fmt.Fprintf(os.Stderr, "c3iserve: FAULT INJECTION: every run request is delayed by %s\n", slow)
+	}
+	srv := serve.New(runner, serve.Options{
+		WorkersPerWorkload: workers, QueueDepth: queue, Store: ds, Pprof: pprofOn, Slowdown: slow,
+	})
 	hs := &http.Server{Addr: addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,17 +1,20 @@
-// Package benchgate turns benchmark measurements into a committed JSON
-// artifact and compares two such artifacts with regression thresholds — the
-// repository's benchmark-regression CI gate. An artifact carries two metric
-// families:
+// Package benchgate turns performance measurements into a committed JSON
+// artifact and compares two such artifacts with per-family regression
+// thresholds — the repository's performance-regression CI gate.
 //
-//   - "benchmarks": benchmark name → ns/op, parsed from `go test -bench`
-//     output. Host time on shared, noisy runners, so the gate is
-//     deliberately generous (default 2×) and the committed baseline may come
-//     from different hardware.
-//   - "model_s": run key → simulated seconds, taken from the run records
-//     `c3ibench -json` emits. Simulated time is deterministic for a given
-//     source tree, so this family gates model-*shape* regressions with a
-//     much tighter threshold: if a change makes the modeled machines
-//     slower, it fails here even when host ns/op is flat.
+// The gate is organized around a declared Family table (see Families): each
+// family names one metric class (host ns/op, simulated model seconds,
+// serving-latency percentiles), the unit its verdicts render with, the
+// extractor that builds its entries from a source artifact, and a default
+// ratio threshold. An artifact is a JSON object keyed by family name:
+//
+//	{"benchmarks": {"BenchmarkX": 123456, ...},
+//	 "model_s": {"threat-analysis|paper|tera|p16|s1.00": 0.43, ...},
+//	 "serve_latency": {"/v1/run|p95_ms": 1.8, ...}}
+//
+// Adding a family is one table entry in family.go — the artifact encoding,
+// comparison, rendering and the cmd/benchgate flag surface are all driven
+// from the table.
 //
 // Entries present in only one artifact are reported but never fail the gate
 // — registry growth adds benchmarks and records on every workload, and that
@@ -33,19 +36,99 @@ import (
 	"repro/internal/run"
 )
 
-// Metric family names, used in verdicts and Missing/Added prefixes.
-const (
-	MetricNsOp   = "ns/op"
-	MetricModelS = "model_s"
-)
-
-// Report is the committed artifact. Benchmark names are normalized (the
-// -GOMAXPROCS suffix stripped), so artifacts recorded on machines with
-// different core counts stay comparable; model_s keys are run.Spec keys,
-// which are machine-independent by construction.
+// Report is the committed artifact: family name → entry name → value.
+// Benchmark names are normalized (the -GOMAXPROCS suffix stripped), so
+// artifacts recorded on machines with different core counts stay comparable;
+// model_s keys are run.Spec keys, which are machine-independent by
+// construction.
 type Report struct {
-	Benchmarks map[string]float64 `json:"benchmarks"`
-	ModelS     map[string]float64 `json:"model_s,omitempty"`
+	families map[string]map[string]float64
+}
+
+// Family returns one family's entries (nil if absent).
+func (r *Report) Family(name string) map[string]float64 { return r.families[name] }
+
+// Set installs one family's entries, replacing any previous ones. The name
+// must be declared in the Families table — the artifact format is closed over
+// it. Empty maps are dropped rather than stored.
+func (r *Report) Set(name string, entries map[string]float64) error {
+	if _, err := FamilyByName(name); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		delete(r.families, name)
+		return nil
+	}
+	if r.families == nil {
+		r.families = map[string]map[string]float64{}
+	}
+	r.families[name] = entries
+	return nil
+}
+
+// Len counts entries across all families.
+func (r *Report) Len() int {
+	n := 0
+	for _, fam := range r.families {
+		n += len(fam)
+	}
+	return n
+}
+
+// Summary renders per-family entry counts in table order ("3 benchmarks,
+// 12 model_s entries").
+func (r *Report) Summary() string {
+	var parts []string
+	for _, f := range Families {
+		if n := len(r.families[f.Name]); n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, f.Name))
+		}
+	}
+	if len(parts) == 0 {
+		return "empty"
+	}
+	return strings.Join(parts, ", ") + " entries"
+}
+
+// MarshalJSON encodes the artifact as a flat family-keyed object, families in
+// table order and entry keys sorted — the committed file is byte-stable.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	first := true
+	for _, f := range Families {
+		fam := r.families[f.Name]
+		if len(fam) == 0 {
+			continue
+		}
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		inner, err := json.Marshal(fam) // map keys marshal sorted
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&buf, "%q:%s", f.Name, inner)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON decodes a family-keyed artifact, rejecting families the table
+// does not declare — a typoed key must not silently become an ungated family.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var raw map[string]map[string]float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	r.families = nil
+	for name, entries := range raw {
+		if err := r.Set(name, entries); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // benchLine matches one result line of `go test -bench` output:
@@ -53,13 +136,13 @@ type Report struct {
 //	BenchmarkWorkloadVariants/pt/fine-8   1   123456 ns/op   0.43 model-s
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// Parse extracts benchmark results from `go test -bench` output. Lines that
-// are not benchmark results (headers, PASS/ok trailers, log noise) are
+// Parse extracts the benchmarks family from `go test -bench` output. Lines
+// that are not benchmark results (headers, PASS/ok trailers, log noise) are
 // ignored. Repeated names (a `-count N` run) keep the minimum measurement —
 // min-of-N is the standard noise reducer for single-iteration benchmarks on
 // shared runners.
-func Parse(r io.Reader) (*Report, error) {
-	rep := &Report{Benchmarks: map[string]float64{}}
+func Parse(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -71,17 +154,17 @@ func Parse(r io.Reader) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		if prev, ok := rep.Benchmarks[m[1]]; !ok || ns < prev {
-			rep.Benchmarks[m[1]] = ns
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("benchgate: %w", err)
 	}
-	if len(rep.Benchmarks) == 0 {
+	if len(out) == 0 {
 		return nil, fmt.Errorf("benchgate: no benchmark results found in input")
 	}
-	return rep, nil
+	return out, nil
 }
 
 // ParseRecords reads `c3ibench -json` output and returns the model_s family:
@@ -129,9 +212,10 @@ func ParseRecords(r io.Reader) (map[string]float64, error) {
 	return ms, nil
 }
 
-// WriteFile writes the report as stable (sorted-key, indented) JSON.
+// WriteFile writes the report as stable (table-ordered, sorted-key, indented)
+// JSON.
 func (r *Report) WriteFile(path string) error {
-	buf, err := json.MarshalIndent(r, "", "  ") // map keys marshal sorted
+	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchgate: %w", err)
 	}
@@ -148,8 +232,8 @@ func ReadFile(path string) (*Report, error) {
 	if err := json.Unmarshal(buf, &r); err != nil {
 		return nil, fmt.Errorf("benchgate: %s: %w", path, err)
 	}
-	if len(r.Benchmarks) == 0 && len(r.ModelS) == 0 {
-		return nil, fmt.Errorf("benchgate: %s holds no benchmarks or model_s entries", path)
+	if r.Len() == 0 {
+		return nil, fmt.Errorf("benchgate: %s holds no entries in any declared family", path)
 	}
 	return &r, nil
 }
@@ -157,7 +241,8 @@ func ReadFile(path string) (*Report, error) {
 // Regression is one entry that slowed beyond its family's threshold.
 type Regression struct {
 	Name      string
-	Metric    string // MetricNsOp or MetricModelS
+	Family    string // declared family name
+	Unit      string // that family's unit, for rendering
 	Base      float64
 	Cur       float64
 	Ratio     float64
@@ -172,26 +257,38 @@ type Comparison struct {
 	Compared    int          // entries present in both, across families
 }
 
-// Compare evaluates current against base. Each family has its own ratio
-// threshold (> 1): nsThreshold for host ns/op, modelThreshold for simulated
-// model_s seconds.
-func Compare(base, current *Report, nsThreshold, modelThreshold float64) (*Comparison, error) {
-	if nsThreshold <= 1 || modelThreshold <= 1 {
-		return nil, fmt.Errorf("benchgate: thresholds %g/%g, need > 1", nsThreshold, modelThreshold)
+// Compare evaluates current against base across every declared family. Each
+// family gates at its table default unless overridden by name; override
+// ratios must be > 1 and name declared families.
+func Compare(base, current *Report, overrides map[string]float64) (*Comparison, error) {
+	thresholds := map[string]float64{}
+	for _, f := range Families {
+		thresholds[f.Name] = f.Threshold
+	}
+	for name, ratio := range overrides {
+		if _, ok := thresholds[name]; !ok {
+			return nil, fmt.Errorf("benchgate: threshold override for unknown family %q (declared: %s)",
+				name, strings.Join(FamilyNames(), ", "))
+		}
+		if ratio <= 1 {
+			return nil, fmt.Errorf("benchgate: threshold %g for family %s, need > 1", ratio, name)
+		}
+		thresholds[name] = ratio
 	}
 	c := &Comparison{}
-	c.compareFamily(MetricNsOp, base.Benchmarks, current.Benchmarks, nsThreshold)
-	c.compareFamily(MetricModelS, base.ModelS, current.ModelS, modelThreshold)
+	for _, f := range Families {
+		c.compareFamily(f, base.Family(f.Name), current.Family(f.Name), thresholds[f.Name])
+	}
 	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Ratio > c.Regressions[j].Ratio })
 	sort.Strings(c.Missing)
 	sort.Strings(c.Added)
 	return c, nil
 }
 
-// compareFamily gates one metric family; names in Missing/Added are
-// prefixed with the family for unambiguous reporting.
-func (c *Comparison) compareFamily(metric string, base, current map[string]float64, threshold float64) {
-	prefix := metric + ": "
+// compareFamily gates one family; names in Missing/Added are prefixed with
+// the family for unambiguous reporting.
+func (c *Comparison) compareFamily(f Family, base, current map[string]float64, threshold float64) {
+	prefix := f.Name + ": "
 	for name, b := range base {
 		cur, ok := current[name]
 		if !ok {
@@ -201,7 +298,7 @@ func (c *Comparison) compareFamily(metric string, base, current map[string]float
 		c.Compared++
 		if b > 0 && cur/b > threshold {
 			c.Regressions = append(c.Regressions, Regression{
-				Name: name, Metric: metric,
+				Name: name, Family: f.Name, Unit: f.Unit,
 				Base: b, Cur: cur, Ratio: cur / b, Threshold: threshold,
 			})
 		}
@@ -225,8 +322,8 @@ func (c *Comparison) Render(w io.Writer) bool {
 		fmt.Fprintf(w, "  missing:  %s (in baseline only — informational)\n", name)
 	}
 	for _, r := range c.Regressions {
-		fmt.Fprintf(w, "  REGRESSED %s: %g → %g %s (%.2fx > %.2fx gate)\n",
-			r.Name, r.Base, r.Cur, r.Metric, r.Ratio, r.Threshold)
+		fmt.Fprintf(w, "  REGRESSED [%s] %s: %g → %g %s (%.2fx > %.2fx gate)\n",
+			r.Family, r.Name, r.Base, r.Cur, r.Unit, r.Ratio, r.Threshold)
 	}
 	if len(c.Regressions) == 0 {
 		fmt.Fprintln(w, "benchgate: no regressions beyond the gates")

@@ -1,6 +1,8 @@
 package benchgate
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -19,7 +21,7 @@ ok  	repro	12.345s
 `
 
 // sampleRecords is a `c3ibench -json` envelope with two run records (the
-// shape the bench CI job pipes into -records).
+// shape the bench CI job pipes into the model_s source).
 const sampleRecords = `{"experiments": ` + sampleExperiments + `, "failed": []}`
 
 // sampleExperiments is the experiments array — also the whole document in
@@ -54,8 +56,40 @@ const sampleExperiments = `[
   }
 ]`
 
+// rpt builds a Report from family-keyed entries via the declared table.
+func rpt(t *testing.T, fams map[string]map[string]float64) *Report {
+	t.Helper()
+	r := &Report{}
+	for name, entries := range fams {
+		if err := r.Set(name, entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestFamilyTable(t *testing.T) {
+	// The table is the artifact contract: every declared family resolves,
+	// has a unit, an extractor and a sane default gate.
+	for _, f := range Families {
+		got, err := FamilyByName(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Unit == "" || got.Extract == nil || got.Threshold <= 1 {
+			t.Errorf("family %s is underdeclared: %+v", f.Name, got)
+		}
+	}
+	if _, err := FamilyByName("nope"); err == nil {
+		t.Error("undeclared family resolved")
+	}
+	if err := (&Report{}).Set("nope", map[string]float64{"a": 1}); err == nil {
+		t.Error("Set accepted an undeclared family")
+	}
+}
+
 func TestParseNormalizesNames(t *testing.T) {
-	rep, err := Parse(strings.NewReader(sampleOutput))
+	got, err := Parse(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,12 +99,12 @@ func TestParseNormalizesNames(t *testing.T) {
 		"BenchmarkWorkloadVariants/ta/sequential": 52000000,
 		"BenchmarkWorkloadVariants/pt/fine":       12345678.5,
 	}
-	if len(rep.Benchmarks) != len(want) {
-		t.Fatalf("parsed %d benchmarks, want %d: %v", len(rep.Benchmarks), len(want), rep.Benchmarks)
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
 	}
 	for name, ns := range want {
-		if got := rep.Benchmarks[name]; got != ns {
-			t.Errorf("%s = %g, want %g (GOMAXPROCS suffix must be stripped)", name, got, ns)
+		if got[name] != ns {
+			t.Errorf("%s = %g, want %g (GOMAXPROCS suffix must be stripped)", name, got[name], ns)
 		}
 	}
 }
@@ -88,12 +122,12 @@ func TestParseKeepsMinimumOfRepeats(t *testing.T) {
 BenchmarkX/a-8 1 100 ns/op
 BenchmarkX/a-8 1 200 ns/op
 `
-	rep, err := Parse(strings.NewReader(out))
+	got, err := Parse(strings.NewReader(out))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := rep.Benchmarks["BenchmarkX/a"]; got != 100 {
-		t.Errorf("BenchmarkX/a = %g, want the minimum 100", got)
+	if got["BenchmarkX/a"] != 100 {
+		t.Errorf("BenchmarkX/a = %g, want the minimum 100", got["BenchmarkX/a"])
 	}
 }
 
@@ -161,15 +195,56 @@ func TestParseRecordsRejectsIncompleteSweep(t *testing.T) {
 	}
 }
 
+func TestParseLoad(t *testing.T) {
+	// A minimal c3iload artifact: one endpoint measured, one step.
+	artifact := `{
+	  "config": {"addr": "http://x", "seed": 1, "steps_rps": "50", "step_duration_s": 1,
+	             "warmup_s": 0, "mix": {"cold": 0, "warm": 0, "cached": 1},
+	             "batch_sizes": "1=1", "workloads": "threat-analysis=1", "stream_ratio": 0,
+	             "scale": 0.02, "platform": "tera", "procs": 1, "validate": false,
+	             "max_inflight": 16},
+	  "endpoints": {"/v1/run": {"requests": 50, "errors": 0, "rejected_429": 0, "dropped": 0,
+	                "specs": 50, "records": 50, "spec_errors": 0, "achieved_rps": 49.8,
+	                "throughput_records_per_s": 49.8, "p50_ms": 0.6, "p95_ms": 1.4,
+	                "p99_ms": 2.8, "mean_ms": 0.7}},
+	  "curve": [{"target_rps": 50, "duration_s": 1, "requests": 50, "errors": 0,
+	             "rejected_429": 0, "dropped": 0, "specs": 50, "records": 50,
+	             "spec_errors": 0, "achieved_rps": 49.8, "throughput_records_per_s": 49.8,
+	             "p50_ms": 0.6, "p95_ms": 1.4, "p99_ms": 2.8, "mean_ms": 0.7}]
+	}`
+	got, err := ParseLoad(strings.NewReader(artifact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"/v1/run|p50_ms": 0.6, "/v1/run|p95_ms": 1.4, "/v1/run|p99_ms": 2.8,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("serve_latency = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %g, want %g", k, got[k], v)
+		}
+	}
+	if _, err := ParseLoad(strings.NewReader(`{"curve": []}`)); err == nil {
+		t.Error("artifact without a curve accepted")
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
-	rep, err := Parse(strings.NewReader(sampleOutput))
+	bench, err := Parse(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep.ModelS, err = ParseRecords(strings.NewReader(sampleRecords))
+	model, err := ParseRecords(strings.NewReader(sampleRecords))
 	if err != nil {
 		t.Fatal(err)
 	}
+	rep := rpt(t, map[string]map[string]float64{
+		FamilyBenchmarks: bench,
+		FamilyModelS:     model,
+	})
 	path := filepath.Join(t.TempDir(), "BENCH_pr.json")
 	if err := rep.WriteFile(path); err != nil {
 		t.Fatal(err)
@@ -178,33 +253,63 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Benchmarks) != len(rep.Benchmarks) || len(got.ModelS) != len(rep.ModelS) {
-		t.Fatalf("round trip lost entries: %d/%d benchmarks, %d/%d model_s",
-			len(got.Benchmarks), len(rep.Benchmarks), len(got.ModelS), len(rep.ModelS))
+	if got.Len() != rep.Len() {
+		t.Fatalf("round trip lost entries: %d, want %d", got.Len(), rep.Len())
 	}
-	for name, ns := range rep.Benchmarks {
-		if got.Benchmarks[name] != ns {
-			t.Errorf("%s = %g after round trip, want %g", name, got.Benchmarks[name], ns)
-		}
-	}
-	for key, s := range rep.ModelS {
-		if got.ModelS[key] != s {
-			t.Errorf("%s = %g after round trip, want %g", key, got.ModelS[key], s)
+	for _, fam := range FamilyNames() {
+		for name, v := range rep.Family(fam) {
+			if got.Family(fam)[name] != v {
+				t.Errorf("%s %s = %g after round trip, want %g", fam, name, got.Family(fam)[name], v)
+			}
 		}
 	}
 }
 
+func TestArtifactFormatIsStableAndClosed(t *testing.T) {
+	// The on-disk shape is the pre-table flat object — committed baselines
+	// from the two-family era must load unchanged...
+	legacy := `{"benchmarks": {"BenchmarkX": 100}, "model_s": {"k": 2.5}}`
+	var r Report
+	if err := json.Unmarshal([]byte(legacy), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Family(FamilyBenchmarks)["BenchmarkX"] != 100 || r.Family(FamilyModelS)["k"] != 2.5 {
+		t.Errorf("legacy artifact decoded wrong: %v / %v",
+			r.Family(FamilyBenchmarks), r.Family(FamilyModelS))
+	}
+	// ...encoding keeps family order and sorted keys...
+	out, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"benchmarks":{"BenchmarkX":100},"model_s":{"k":2.5}}`; string(out) != want {
+		t.Errorf("encoded %s, want %s", out, want)
+	}
+	// ...and undeclared top-level keys are rejected, not silently kept as an
+	// ungated family.
+	if err := json.Unmarshal([]byte(`{"benchmurks": {"a": 1}}`), &r); err == nil {
+		t.Error("undeclared family key accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"benchmurks": {"a": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile accepted an undeclared family")
+	}
+}
+
 func TestCompareGates(t *testing.T) {
-	base := &Report{Benchmarks: map[string]float64{
+	base := rpt(t, map[string]map[string]float64{FamilyBenchmarks: {
 		"a": 100, "b": 100, "c": 100, "gone": 50,
-	}}
-	cur := &Report{Benchmarks: map[string]float64{
+	}})
+	cur := rpt(t, map[string]map[string]float64{FamilyBenchmarks: {
 		"a":   150, // 1.5x — inside a 2x gate
 		"b":   250, // 2.5x — regression
 		"c":   40,  // improvement
 		"new": 1,   // added
-	}}
-	c, err := Compare(base, cur, 2.0, 1.5)
+	}})
+	c, err := Compare(base, cur, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,21 +322,21 @@ func TestCompareGates(t *testing.T) {
 	if r := c.Regressions[0].Ratio; r < 2.49 || r > 2.51 {
 		t.Errorf("ratio = %g, want 2.5", r)
 	}
-	if len(c.Missing) != 1 || c.Missing[0] != "ns/op: gone" {
+	if len(c.Missing) != 1 || c.Missing[0] != "benchmarks: gone" {
 		t.Errorf("Missing = %v", c.Missing)
 	}
-	if len(c.Added) != 1 || c.Added[0] != "ns/op: new" {
+	if len(c.Added) != 1 || c.Added[0] != "benchmarks: new" {
 		t.Errorf("Added = %v", c.Added)
 	}
 	var sb strings.Builder
 	if c.Render(&sb) {
 		t.Error("gate passed with a regression")
 	}
-	if !strings.Contains(sb.String(), "REGRESSED b") {
+	if !strings.Contains(sb.String(), "REGRESSED [benchmarks] b") {
 		t.Errorf("verdict %q does not name the regression", sb.String())
 	}
 
-	ok, err := Compare(base, base, 2.0, 1.5)
+	ok, err := Compare(base, base, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,26 +345,31 @@ func TestCompareGates(t *testing.T) {
 		t.Error("identical reports failed the gate")
 	}
 	// Missing and added benchmarks alone must not fail the gate.
+	only := rpt(t, map[string]map[string]float64{FamilyBenchmarks: {"a": 100}})
+	miss, err := Compare(base, only, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sb.Reset()
-	if !c2(t, base, &Report{Benchmarks: map[string]float64{"a": 100}}).Render(&sb) {
+	if !miss.Render(&sb) {
 		t.Error("missing benchmarks failed the gate — they are informational")
 	}
 }
 
 func TestCompareGatesModelS(t *testing.T) {
-	// The acceptance scenario for the second family: simulated seconds
+	// The acceptance scenario for the model family: simulated seconds
 	// regress 3× while host ns/op is flat. ns/op alone would pass; the
 	// model_s family must fail the gate.
 	key := "threat-analysis|coarse|tera|p1|s0.25|chunks=256,pipelined=0"
-	base := &Report{
-		Benchmarks: map[string]float64{"BenchmarkExperiments/table5": 1e9},
-		ModelS:     map[string]float64{key: 82.0},
-	}
-	cur := &Report{
-		Benchmarks: map[string]float64{"BenchmarkExperiments/table5": 1e9}, // flat host time
-		ModelS:     map[string]float64{key: 246.0},                         // 3× simulated time
-	}
-	c, err := Compare(base, cur, 2.0, 1.5)
+	base := rpt(t, map[string]map[string]float64{
+		FamilyBenchmarks: {"BenchmarkExperiments/table5": 1e9},
+		FamilyModelS:     {key: 82.0},
+	})
+	cur := rpt(t, map[string]map[string]float64{
+		FamilyBenchmarks: {"BenchmarkExperiments/table5": 1e9}, // flat host time
+		FamilyModelS:     {key: 246.0},                         // 3× simulated time
+	})
+	c, err := Compare(base, cur, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +380,7 @@ func TestCompareGatesModelS(t *testing.T) {
 		t.Fatalf("Regressions = %+v, want exactly the model_s entry", c.Regressions)
 	}
 	r := c.Regressions[0]
-	if r.Metric != MetricModelS || r.Name != key {
+	if r.Family != FamilyModelS || r.Name != key {
 		t.Errorf("regression = %+v, want model_s on %s", r, key)
 	}
 	if r.Ratio < 2.9 || r.Ratio > 3.1 {
@@ -285,8 +395,10 @@ func TestCompareGatesModelS(t *testing.T) {
 	}
 
 	// The same comparison with model_s improving must pass.
-	cur.ModelS[key] = 60.0
-	ok, err := Compare(base, cur, 2.0, 1.5)
+	if err := cur.Set(FamilyModelS, map[string]float64{key: 60.0}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Compare(base, cur, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,12 +408,50 @@ func TestCompareGatesModelS(t *testing.T) {
 	}
 }
 
-func TestCompareModelSFamiliesIndependent(t *testing.T) {
+func TestCompareGatesServeLatency(t *testing.T) {
+	// The serving gate: a slowed server's percentiles blow through the
+	// serve_latency threshold even with host benchmarks flat.
+	base := rpt(t, map[string]map[string]float64{FamilyServeLatency: {
+		"/v1/run|p50_ms": 0.5, "/v1/run|p95_ms": 1.2, "/v1/run|p99_ms": 3.0,
+	}})
+	slow := rpt(t, map[string]map[string]float64{FamilyServeLatency: {
+		"/v1/run|p50_ms": 250.6, "/v1/run|p95_ms": 252.1, "/v1/run|p99_ms": 254.0,
+	}})
+	c, err := Compare(base, slow, map[string]float64{FamilyServeLatency: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Compared != 3 || len(c.Regressions) != 3 {
+		t.Fatalf("slowed server: compared %d, regressions %+v", c.Compared, c.Regressions)
+	}
+	var sb strings.Builder
+	if c.Render(&sb) {
+		t.Error("gate passed a slowed server")
+	}
+	if !strings.Contains(sb.String(), "serve_latency") || !strings.Contains(sb.String(), "ms") {
+		t.Errorf("verdict %q does not carry the family and unit", sb.String())
+	}
+
+	// Plausible jitter inside the override gate must pass.
+	jitter := rpt(t, map[string]map[string]float64{FamilyServeLatency: {
+		"/v1/run|p50_ms": 1.1, "/v1/run|p95_ms": 2.9, "/v1/run|p99_ms": 9.1,
+	}})
+	ok, err := Compare(base, jitter, map[string]float64{FamilyServeLatency: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if !ok.Render(&sb) {
+		t.Error("in-gate latency jitter failed")
+	}
+}
+
+func TestCompareFamiliesIndependent(t *testing.T) {
 	// A model_s-only baseline against a benchmarks-only current: nothing
 	// overlaps, nothing regresses, everything is informational.
-	base := &Report{ModelS: map[string]float64{"k": 1}}
-	cur := &Report{Benchmarks: map[string]float64{"b": 1}}
-	c, err := Compare(base, cur, 2.0, 1.5)
+	base := rpt(t, map[string]map[string]float64{FamilyModelS: {"k": 1}})
+	cur := rpt(t, map[string]map[string]float64{FamilyBenchmarks: {"b": 1}})
+	c, err := Compare(base, cur, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,26 +461,17 @@ func TestCompareModelSFamiliesIndependent(t *testing.T) {
 	if len(c.Missing) != 1 || c.Missing[0] != "model_s: k" {
 		t.Errorf("Missing = %v", c.Missing)
 	}
-	if len(c.Added) != 1 || c.Added[0] != "ns/op: b" {
+	if len(c.Added) != 1 || c.Added[0] != "benchmarks: b" {
 		t.Errorf("Added = %v", c.Added)
 	}
 }
 
-func c2(t *testing.T, base, cur *Report) *Comparison {
-	t.Helper()
-	c, err := Compare(base, cur, 2.0, 1.5)
-	if err != nil {
-		t.Fatal(err)
+func TestCompareRejectsBadOverrides(t *testing.T) {
+	r := rpt(t, map[string]map[string]float64{FamilyBenchmarks: {"a": 1}})
+	if _, err := Compare(r, r, map[string]float64{FamilyBenchmarks: 1.0}); err == nil {
+		t.Error("threshold 1.0 accepted")
 	}
-	return c
-}
-
-func TestCompareRejectsBadThreshold(t *testing.T) {
-	r := &Report{Benchmarks: map[string]float64{"a": 1}}
-	if _, err := Compare(r, r, 1.0, 1.5); err == nil {
-		t.Error("ns/op threshold 1.0 accepted")
-	}
-	if _, err := Compare(r, r, 2.0, 1.0); err == nil {
-		t.Error("model threshold 1.0 accepted")
+	if _, err := Compare(r, r, map[string]float64{"benchmurks": 2.0}); err == nil {
+		t.Error("override for an undeclared family accepted")
 	}
 }

@@ -1,0 +1,458 @@
+// Package load is the serving tier's load-test harness: it replays
+// registry-enumerated Spec mixes against a c3iserve or c3irouter endpoint at
+// a target request rate with open-loop pacing, over both the batch
+// (POST /v1/run) and the NDJSON stream (POST /v1/run/stream) transports, and
+// reports achieved RPS, throughput, client-side p50/p95/p99 latency per
+// endpoint, error/429/drop counts, and a stepped-RPS saturation curve as a
+// CI-ready JSON artifact (cmd/c3iload writes it; the benchgate serve_latency
+// family gates it).
+//
+// The workload mix is parameterized, Task Bench style, instead of a fixed
+// point: workload weights, a batch-size distribution, a stream/batch traffic
+// split, and a cold/warm/cached ratio over Spec temperature —
+//
+//   - cached: an exact repeat of a Spec issued earlier in the run, which the
+//     server answers from its record cache or disk store;
+//   - warm: a fresh Spec (unique canonical key) inside a workload×scale the
+//     run has already touched, so the server's memoized scenario suite is
+//     warm but the engine must execute;
+//   - cold: a fresh workload×scale, forcing scenario generation before the
+//     engine runs.
+//
+// Everything is drawn from one seeded RNG on the pacing goroutine, so the
+// generated request schedule — endpoints, batch sizes, every Spec — is a
+// pure function of the Config: two runs with the same seed replay the same
+// traffic, which is what makes artifacts comparable across commits.
+//
+// Pacing is open-loop: requests launch on the fixed schedule regardless of
+// how many are still outstanding, the way independent users arrive, so a
+// saturated server shows up as climbing latency and 429s rather than as a
+// politely self-throttling client. MaxInflight is the harness's own memory
+// bound; a request that would exceed it is counted as dropped, never sent —
+// and never silently: drops mean the measured RPS understates the target.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/c3i/suite"
+	"repro/internal/platforms"
+	"repro/internal/run"
+	"repro/internal/serve"
+)
+
+// Spec temperatures the mix ratios draw over.
+const (
+	KindCached = "cached"
+	KindWarm   = "warm"
+	KindCold   = "cold"
+)
+
+// historyCap bounds the ring of issued Specs that cached picks draw from.
+const historyCap = 4096
+
+// Choice is one weighted alternative in a distribution.
+type Choice[T any] struct {
+	Value  T
+	Weight float64
+}
+
+// pick draws one alternative; weights are relative, not normalized. The
+// caller guarantees a non-empty distribution with positive total weight
+// (Config.Resolve enforced it).
+func pick[T any](rng *rand.Rand, dist []Choice[T]) T {
+	total := 0.0
+	for _, c := range dist {
+		total += c.Weight
+	}
+	x := rng.Float64() * total
+	for _, c := range dist {
+		if x < c.Weight {
+			return c.Value
+		}
+		x -= c.Weight
+	}
+	return dist[len(dist)-1].Value
+}
+
+// Mix is the cold/warm/cached temperature ratio. Values are relative
+// weights; they need not sum to 1.
+type Mix struct {
+	Cold   float64 `json:"cold"`
+	Warm   float64 `json:"warm"`
+	Cached float64 `json:"cached"`
+}
+
+// dist renders the mix as a drawable distribution.
+func (m Mix) dist() []Choice[string] {
+	return []Choice[string]{
+		{KindCached, m.Cached}, {KindWarm, m.Warm}, {KindCold, m.Cold},
+	}
+}
+
+// ParseMix parses "cold=0.05,warm=0.2,cached=0.75". Omitted kinds weigh 0.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("load: mix term %q is not kind=weight", part)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("load: mix weight %q must be a non-negative number", v)
+		}
+		switch k {
+		case KindCold:
+			m.Cold = w
+		case KindWarm:
+			m.Warm = w
+		case KindCached:
+			m.Cached = w
+		default:
+			return Mix{}, fmt.Errorf("load: unknown mix kind %q (want cold/warm/cached)", k)
+		}
+	}
+	if m.Cold+m.Warm+m.Cached <= 0 {
+		return Mix{}, fmt.Errorf("load: mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// ParseIntDist parses a weighted integer distribution, "1=6,4=3,16=1".
+func ParseIntDist(s string) ([]Choice[int], error) {
+	var out []Choice[int]
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("load: distribution term %q is not value=weight", part)
+		}
+		val, err := strconv.Atoi(k)
+		if err != nil || val < 1 {
+			return nil, fmt.Errorf("load: distribution value %q must be a positive integer", k)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("load: distribution weight %q must be a non-negative number", v)
+		}
+		out = append(out, Choice[int]{val, w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("load: empty distribution %q", s)
+	}
+	return out, nil
+}
+
+// ParseNameDist parses a weighted name distribution, "threat-analysis=3,
+// terrain-masking=1". A bare name weighs 1.
+func ParseNameDist(s string) ([]Choice[string], error) {
+	var out []Choice[string]
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, v, ok := strings.Cut(part, "=")
+		w := 1.0
+		if ok {
+			var err error
+			if w, err = strconv.ParseFloat(v, 64); err != nil || w < 0 {
+				return nil, fmt.Errorf("load: weight %q must be a non-negative number", v)
+			}
+		}
+		if name == "" {
+			return nil, fmt.Errorf("load: empty name in %q", s)
+		}
+		out = append(out, Choice[string]{name, w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("load: empty distribution %q", s)
+	}
+	return out, nil
+}
+
+// Config describes one load run.
+type Config struct {
+	// Addr is the target base URL (a c3iserve or c3irouter).
+	Addr string
+	// Steps are the target request rates of the saturation sweep, each held
+	// for StepDuration. A single-step run is a one-point "curve".
+	Steps []float64
+	// StepDuration is the measured window of each step.
+	StepDuration time.Duration
+	// Warmup is an unrecorded lead-in at the start of each step, paced at
+	// the step's rate: connections open, pools start, suites warm.
+	Warmup time.Duration
+	// Mix is the cold/warm/cached temperature ratio of generated Specs.
+	Mix Mix
+	// BatchSizes is the weighted batch-size distribution.
+	BatchSizes []Choice[int]
+	// Workloads is the weighted workload mix; every name must be registered.
+	Workloads []Choice[string]
+	// StreamRatio is the fraction of requests sent to /v1/run/stream; the
+	// rest POST /v1/run.
+	StreamRatio float64
+	// Scale is the base Spec scale (cold Specs derive fresh scales from it).
+	Scale float64
+	// Platform and Procs pin the machine model Specs request.
+	Platform string
+	Procs    int
+	// Validate requests checksummed outputs instead of charge-only runs.
+	Validate bool
+	// Seed seeds the one RNG the whole schedule is drawn from.
+	Seed int64
+	// MaxInflight bounds outstanding requests; excess launches are dropped
+	// (counted, never sent).
+	MaxInflight int
+	// Timeout bounds each request; 0 means none.
+	Timeout time.Duration
+}
+
+// Resolve fills defaults and rejects configurations the harness cannot run
+// deterministically. It returns the resolved copy.
+func (c Config) Resolve() (Config, error) {
+	if c.Addr == "" {
+		return c, fmt.Errorf("load: no target address")
+	}
+	if len(c.Steps) == 0 {
+		return c, fmt.Errorf("load: no target RPS steps")
+	}
+	for _, rps := range c.Steps {
+		if rps <= 0 {
+			return c, fmt.Errorf("load: step RPS %g must be positive", rps)
+		}
+	}
+	if c.StepDuration <= 0 {
+		return c, fmt.Errorf("load: step duration %s must be positive", c.StepDuration)
+	}
+	if c.Warmup < 0 {
+		return c, fmt.Errorf("load: negative warmup %s", c.Warmup)
+	}
+	if c.Mix.Cold+c.Mix.Warm+c.Mix.Cached <= 0 {
+		return c, fmt.Errorf("load: mix has zero total weight")
+	}
+	if c.StreamRatio < 0 || c.StreamRatio > 1 {
+		return c, fmt.Errorf("load: stream ratio %g outside [0, 1]", c.StreamRatio)
+	}
+	if len(c.BatchSizes) == 0 {
+		c.BatchSizes = []Choice[int]{{1, 6}, {4, 3}, {8, 1}}
+	}
+	if len(c.Workloads) == 0 {
+		for _, w := range suite.All() {
+			c.Workloads = append(c.Workloads, Choice[string]{w.Name, 1})
+		}
+		if len(c.Workloads) == 0 {
+			return c, fmt.Errorf("load: no workloads registered")
+		}
+	}
+	for _, w := range c.Workloads {
+		if _, err := suite.Lookup(w.Value); err != nil {
+			return c, fmt.Errorf("load: %w", err)
+		}
+	}
+	if total := totalWeight(c.Workloads); total <= 0 {
+		return c, fmt.Errorf("load: workload mix has zero total weight")
+	}
+	if total := totalWeight(c.BatchSizes); total <= 0 {
+		return c, fmt.Errorf("load: batch-size distribution has zero total weight")
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.02
+	}
+	if c.Platform == "" {
+		c.Platform = "tera"
+	}
+	if _, err := platforms.Get(c.Platform); err != nil {
+		return c, fmt.Errorf("load: %w", err)
+	}
+	if c.Procs < 1 {
+		c.Procs = 1
+	}
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 256
+	}
+	return c, nil
+}
+
+func totalWeight[T any](dist []Choice[T]) float64 {
+	total := 0.0
+	for _, c := range dist {
+		total += c.Weight
+	}
+	return total
+}
+
+// request is one generated unit of traffic.
+type request struct {
+	endpoint string // serve.RunPath or serve.StreamPath
+	specs    []run.Spec
+}
+
+// generator draws the deterministic request schedule. All state mutates on
+// the pacing goroutine only.
+type generator struct {
+	cfg      *Config
+	rng      *rand.Rand
+	mix      []Choice[string]
+	families []family   // workload×scale combinations the run has touched
+	history  []run.Spec // ring of issued Specs, the cached pool
+	histNext int
+	seq      int // unique-key counter for warm/cold Specs
+	coldSeq  int // fresh-scale counter for cold Specs
+}
+
+// family is one workload×scale the generator has issued Specs in; warm picks
+// land here.
+type family struct {
+	workload string
+	variants []string
+	scale    float64
+}
+
+// newGenerator seeds the schedule. Families are pre-seeded with every
+// configured workload at the base scale so warm picks are defined from the
+// first request.
+func newGenerator(cfg *Config) *generator {
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		mix: cfg.Mix.dist(),
+	}
+	// Iterate the configured workload mix in its declared order: generator
+	// state must never depend on map iteration.
+	for _, wc := range cfg.Workloads {
+		w, err := suite.Lookup(wc.Value)
+		if err != nil {
+			continue // Resolve already rejected unknown names
+		}
+		var variants []string
+		for _, v := range w.Variants {
+			variants = append(variants, v.Name)
+		}
+		g.families = append(g.families, family{workload: w.Name, variants: variants, scale: cfg.Scale})
+	}
+	return g
+}
+
+// next draws the next request: endpoint, batch size, then one Spec per slot.
+func (g *generator) next() request {
+	endpoint := serve.RunPath
+	if g.rng.Float64() < g.cfg.StreamRatio {
+		endpoint = serve.StreamPath
+	}
+	size := pick(g.rng, g.cfg.BatchSizes)
+	specs := make([]run.Spec, size)
+	for i := range specs {
+		specs[i] = g.spec()
+	}
+	return request{endpoint: endpoint, specs: specs}
+}
+
+// spec draws one Spec at the mixed temperature.
+func (g *generator) spec() run.Spec {
+	var s run.Spec
+	switch kind := pick(g.rng, g.mix); {
+	case kind == KindCached && len(g.history) > 0:
+		s = g.history[g.rng.Intn(len(g.history))]
+		return s // an exact repeat re-enters neither history nor families
+	case kind == KindCold:
+		s = g.fresh(g.coldFamily())
+	default: // warm, or cached before any history exists
+		s = g.fresh(g.families[g.rng.Intn(len(g.families))])
+	}
+	g.remember(s)
+	return s
+}
+
+// coldFamily derives a never-seen workload×scale: the workload mix picks the
+// workload, and a fresh scale forces the server to generate a new scenario
+// suite before executing.
+func (g *generator) coldFamily() family {
+	g.coldSeq++
+	name := pick(g.rng, g.cfg.Workloads)
+	w, _ := suite.Lookup(name) // Resolve vetted the mix
+	var variants []string
+	for _, v := range w.Variants {
+		variants = append(variants, v.Name)
+	}
+	f := family{
+		workload: name,
+		variants: variants,
+		scale:    g.cfg.Scale * (1 + 0.05*float64(g.coldSeq)),
+	}
+	g.families = append(g.families, f)
+	return f
+}
+
+// fresh builds a new unique Spec in a family: random variant, a load_seq
+// param that makes the canonical key unique (solvers ignore unknown params,
+// so the execution cost is the variant's real cost — only the cache key
+// changes).
+func (g *generator) fresh(f family) run.Spec {
+	g.seq++
+	return run.Spec{
+		Workload: f.workload,
+		Variant:  f.variants[g.rng.Intn(len(f.variants))],
+		Platform: g.cfg.Platform,
+		Procs:    g.cfg.Procs,
+		Scale:    f.scale,
+		Params:   suite.Params{"load_seq": g.seq},
+		Validate: g.cfg.Validate,
+	}
+}
+
+// remember adds an issued Spec to the bounded cached pool.
+func (g *generator) remember(s run.Spec) {
+	if len(g.history) < historyCap {
+		g.history = append(g.history, s)
+		return
+	}
+	g.history[g.histNext] = s
+	g.histNext = (g.histNext + 1) % historyCap
+}
+
+// describeDist renders a distribution for the artifact's config echo.
+func describeDist[T any](dist []Choice[T]) string {
+	parts := make([]string, len(dist))
+	for i, c := range dist {
+		parts[i] = fmt.Sprintf("%v=%g", c.Value, c.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSteps parses a comma-separated RPS sweep, "50,100,200".
+func ParseSteps(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		rps, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || rps <= 0 {
+			return nil, fmt.Errorf("load: step %q must be a positive RPS", part)
+		}
+		out = append(out, rps)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("load: empty step list %q", s)
+	}
+	return out, nil
+}
+
+// describeSteps renders the RPS steps for the config echo.
+func describeSteps(steps []float64) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = strconv.FormatFloat(s, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// sortedEndpoints returns map keys in stable order for rendering.
+func sortedEndpoints[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

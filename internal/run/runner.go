@@ -48,6 +48,12 @@ type Executor interface {
 	Run(ctx context.Context, spec Spec) (Record, error)
 }
 
+// The Runner is both faces of the run API: batch and stream.
+var (
+	_ Executor       = (*Runner)(nil)
+	_ StreamExecutor = (*Runner)(nil)
+)
+
 // Runner executes Specs. It owns the two caches every consumer shares: the
 // memoized (and pre-warmed) scenario suites per workload×scale, and the
 // single-flight Record cache keyed by Spec.Key, so concurrent consumers that

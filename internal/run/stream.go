@@ -1,0 +1,90 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// StreamEvent is one incrementally delivered result of a streamed Spec batch:
+// Index addresses the submitted batch positionally, and exactly one of Record
+// and Error is set — the same per-spec contract as a positional batch
+// response, delivered as each Spec completes rather than at batch end. It is
+// also the wire format of the serving tier's NDJSON /v1/run/stream lines
+// (one JSON object per line), which is why the fields carry JSON tags here:
+// local and remote streams speak the same event.
+type StreamEvent struct {
+	Index  int     `json:"index"`
+	Record *Record `json:"record,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// StreamExecutor is the streaming counterpart of Executor: it executes a Spec
+// batch and invokes fn once per StreamEvent as each Spec's Record completes,
+// in completion order, exactly once per submitted Spec. fn is never called
+// concurrently with itself. The returned error covers transport and protocol
+// problems only — per-spec failures arrive as error events — so a consumer
+// written against this interface (c3iload's stream traffic, a progress UI)
+// selects batch vs. stream transport by choosing Executor or StreamExecutor,
+// not by naming a concrete client. The local *Runner implements it; so does
+// serve.Client, which streams from a c3iserve or c3irouter endpoint.
+type StreamExecutor interface {
+	RunStream(ctx context.Context, specs []Spec, fn func(StreamEvent)) error
+}
+
+// Event renders a completed Spec's outcome as its StreamEvent — the one
+// constructor both the local Runner and the serving tier use, so a failed
+// Spec always travels as a non-empty Error with a nil Record and a
+// successful one as the reverse.
+func Event(index int, rec Record, err error) StreamEvent {
+	if err != nil {
+		return StreamEvent{Index: index, Error: err.Error()}
+	}
+	return StreamEvent{Index: index, Record: &rec}
+}
+
+// RunStream executes the Specs through the Runner's worker pool (the same
+// fan-out bound as RunAll) and delivers one StreamEvent per Spec as it
+// completes, serially, in completion order. Once ctx is cancelled,
+// not-yet-started Specs fail fast with the context error — as error events,
+// so the exactly-once-per-Spec contract holds even for an abandoned batch.
+func (r *Runner) RunStream(ctx context.Context, specs []Spec, fn func(StreamEvent)) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	jobs := r.jobs
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	work := make(chan int)
+	events := make(chan StreamEvent, len(specs))
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rec, err := r.Run(ctx, specs[i])
+				if err != nil {
+					err = fmt.Errorf("spec %d (%s): %w", i, specs[i].Key(), err)
+				}
+				events <- Event(i, rec, err)
+			}
+		}()
+	}
+	go func() {
+		for i := range specs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(events)
+	}()
+	for ev := range events {
+		fn(ev)
+	}
+	return nil
+}

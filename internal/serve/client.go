@@ -72,6 +72,50 @@ type Client struct {
 	Metrics *obs.Registry
 }
 
+// The Client is the remote implementation of both faces of the run API:
+// batch (Executor, via Run/RunAll) and stream (StreamExecutor, via
+// RunStream) — consumers pick a transport through the interfaces, never a
+// concrete client method.
+var (
+	_ run.Executor       = (*Client)(nil)
+	_ run.StreamExecutor = (*Client)(nil)
+)
+
+// StatusError is the typed error RunBatch and RunStream return when the
+// server answered with a non-200 status (after retries are exhausted, for
+// retryable ones). Callers that care which status — the load harness counts
+// 429 admission rejections separately from real failures — unwrap it with
+// errors.As instead of matching message text.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Status is the full status line ("429 Too Many Requests").
+	Status string
+	// Msg is the server's error body, when it carried one.
+	Msg string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("%s: %s", e.Status, e.Msg)
+	}
+	return e.Status
+}
+
+// statusError builds the StatusError for a non-200 response whose body has
+// already been read.
+func statusError(resp *http.Response, body []byte) *StatusError {
+	se := &StatusError{Code: resp.StatusCode, Status: resp.Status}
+	var er ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		se.Msg = er.Error
+	} else if trimmed := bytes.TrimSpace(body); len(trimmed) > 0 {
+		se.Msg = string(trimmed)
+	}
+	return se
+}
+
 // httpClient resolves the client every request uses: an explicit HTTP
 // override wins, otherwise a client bounded by Timeout (the shared
 // http.DefaultClient when no timeout is asked for).
@@ -121,18 +165,40 @@ func retryDelay(base time.Duration, attempt int, retryAfter string) time.Duratio
 		d = maxRetryBackoff
 	}
 	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
-	if retryAfter != "" {
-		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-			ra := time.Duration(secs) * time.Second
-			if ra > maxRetryAfter {
-				ra = maxRetryAfter
-			}
-			if ra > d {
-				d = ra
-			}
-		}
+	if ra, ok := retryAfterDelay(retryAfter, time.Now()); ok && ra > d {
+		d = ra
 	}
 	return d
+}
+
+// retryAfterDelay parses a Retry-After header value into a wait duration.
+// RFC 9110 §10.2.3 allows two forms: a non-negative delta-seconds integer,
+// or an HTTP-date (any of the three formats http.ParseTime accepts), which
+// is resolved against now. The result is capped at maxRetryAfter; a date in
+// the past yields a zero wait. Unparseable values report ok=false and are
+// ignored by the retry policy — a garbled header must not stall the client.
+func retryAfterDelay(retryAfter string, now time.Time) (time.Duration, bool) {
+	if retryAfter == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(retryAfter); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(retryAfter); err == nil {
+		d = at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+	} else {
+		return 0, false
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }
 
 // post issues one idempotent batch POST with the retry policy. It returns
@@ -209,11 +275,7 @@ func (c *Client) RunBatch(ctx context.Context, specs []run.Spec) (BatchResponse,
 		return BatchResponse{}, fmt.Errorf("serve: reading response: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		var er ErrorResponse
-		if json.Unmarshal(buf, &er) == nil && er.Error != "" {
-			return BatchResponse{}, fmt.Errorf("serve: %s: %s", resp.Status, er.Error)
-		}
-		return BatchResponse{}, fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(buf))
+		return BatchResponse{}, fmt.Errorf("serve: %w", statusError(resp, buf))
 	}
 	var br BatchResponse
 	if err := json.Unmarshal(buf, &br); err != nil {
@@ -245,11 +307,7 @@ func (c *Client) RunStream(ctx context.Context, specs []run.Spec, fn func(Stream
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		buf, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		var er ErrorResponse
-		if json.Unmarshal(buf, &er) == nil && er.Error != "" {
-			return fmt.Errorf("serve: %s: %s", resp.Status, er.Error)
-		}
-		return fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(buf))
+		return fmt.Errorf("serve: %w", statusError(resp, buf))
 	}
 	seen := make([]bool, len(specs))
 	events := 0

@@ -128,17 +128,24 @@ type Options struct {
 	// profile endpoints can observably stall a loaded process, so exposing
 	// them is an operator's explicit choice (`c3iserve -pprof`).
 	Pprof bool
+	// Slowdown injects an artificial delay into every run-API request
+	// (/v1/run and /v1/run/stream; health and metrics stay fast) — fault
+	// injection for validating latency SLO tooling: a `c3iserve -slowdown
+	// 250ms` server must fail the serve_latency benchgate family, which is
+	// how the CI load job proves the gate actually gates. Zero in production.
+	Slowdown time.Duration
 }
 
 // Server is an http.Handler serving the run API. Create with New; after the
 // HTTP server has been shut down (drained), call Close to stop the worker
 // pools.
 type Server struct {
-	runner  *run.Runner
-	workers int
-	queue   int
-	metrics *obs.Registry
-	mux     *http.ServeMux
+	runner   *run.Runner
+	workers  int
+	queue    int
+	slowdown time.Duration
+	metrics  *obs.Registry
+	mux      *http.ServeMux
 
 	mu     sync.RWMutex
 	store  *run.DiskStore
@@ -174,13 +181,14 @@ func New(runner *run.Runner, opts Options) *Server {
 		queue = 4 * workers
 	}
 	s := &Server{
-		runner:  runner,
-		workers: workers,
-		queue:   queue,
-		metrics: runner.Metrics(),
-		store:   opts.Store,
-		pools:   map[string]chan task{},
-		quit:    make(chan struct{}),
+		runner:   runner,
+		workers:  workers,
+		queue:    queue,
+		slowdown: opts.Slowdown,
+		metrics:  runner.Metrics(),
+		store:    opts.Store,
+		pools:    map[string]chan task{},
+		quit:     make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(RunPath, s.handleRun)
@@ -202,6 +210,9 @@ func New(runner *run.Runner, opts Options) *Server {
 // request counter labeled by status class.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	labels := obs.Labels{"path": endpointLabel(r.URL.Path)}
+	if s.slowdown > 0 && (labels["path"] == RunPath || labels["path"] == StreamPath) {
+		time.Sleep(s.slowdown) // injected fault; see Options.Slowdown
+	}
 	inflight := s.metrics.Gauge(MetricInflight, labels)
 	inflight.Inc()
 	start := time.Now()

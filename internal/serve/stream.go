@@ -15,19 +15,13 @@ import (
 // one of Record and Error is set — the same per-spec contract as
 // BatchResponse, delivered incrementally. Every submitted Spec produces
 // exactly one event; arrival order is completion order, not batch order.
-type StreamEvent struct {
-	Index  int         `json:"index"`
-	Record *run.Record `json:"record,omitempty"`
-	Error  string      `json:"error,omitempty"`
-}
+// The type lives in run (it is the streaming execution API's event, not a
+// serving invention); the alias keeps the serving tier's wire vocabulary.
+type StreamEvent = run.StreamEvent
 
 // streamEvent renders a task result as its event.
 func streamEvent(index int, res taskResult) StreamEvent {
-	if res.err != nil {
-		return StreamEvent{Index: index, Error: res.err.Error()}
-	}
-	rec := res.rec
-	return StreamEvent{Index: index, Record: &rec}
+	return run.Event(index, res.rec, res.err)
 }
 
 // handleStream answers POST /v1/run/stream: the same Spec batch as /v1/run,
