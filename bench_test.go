@@ -34,6 +34,7 @@ var benchCfg = experiments.Config{Scales: map[string]float64{
 	experiments.TM: 0.2,
 	experiments.RO: 0.1,
 	experiments.PT: 0.1,
+	experiments.HT: 0.1,
 }}
 
 // benchVariantScale sizes the per-variant workload benchmarks.

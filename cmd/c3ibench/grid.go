@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/c3i/suite"
+	"repro/internal/report"
+	"repro/internal/run"
+	"repro/internal/serve"
+)
+
+// batchExecutor is the sweep surface a grid run needs: the local Runner and
+// the remote serve.Client both provide it, so `-grid` runs through a server
+// fleet with `-remote` unchanged.
+type batchExecutor interface {
+	RunAll(ctx context.Context, specs []run.Spec) ([]run.Record, error)
+}
+
+// parseGridFlag splits the -grid value: "workload" sweeps the full declared
+// grid; "workload=axis:v1,v2[;axis:v1,...]" restricts named axes to subsets
+// of their declared values.
+func parseGridFlag(s string) (name string, restrict map[string][]float64, err error) {
+	name, spec, has := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, fmt.Errorf(`-grid %q: need "workload" or "workload=axis:v1,v2[;axis:...]"`, s)
+	}
+	if !has {
+		return name, nil, nil
+	}
+	restrict = map[string][]float64{}
+	for _, part := range strings.Split(spec, ";") {
+		axis, list, ok := strings.Cut(part, ":")
+		axis = strings.TrimSpace(axis)
+		if !ok || axis == "" {
+			return "", nil, fmt.Errorf(`-grid %q: restriction %q: need "axis:v1,v2"`, s, part)
+		}
+		if _, dup := restrict[axis]; dup {
+			return "", nil, fmt.Errorf("-grid %q: axis %q restricted twice", s, axis)
+		}
+		var vals []float64
+		for _, f := range strings.Split(list, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("-grid %q: axis %q: value %q is not a number", s, axis, f)
+			}
+			vals = append(vals, v)
+		}
+		restrict[axis] = vals
+	}
+	return name, restrict, nil
+}
+
+// runAdmitted executes the sweep's specs in order, shrinking the sub-batch
+// size whenever a server's admission control rejects one. A full grid is one
+// big single-workload batch — larger than a small c3iserve's bounded pool
+// queue — so a whole-batch POST can be rejected no matter how often it is
+// retried; halving until the batch fits (down to one Spec per request, the
+// granularity every server admits) lets the same sweep run against any fleet
+// configuration. Locally the executor never rejects and this is a single
+// RunAll call.
+func runAdmitted(exec batchExecutor, specs []run.Spec) ([]run.Record, error) {
+	ctx := context.Background()
+	recs := make([]run.Record, 0, len(specs))
+	chunk := len(specs)
+	for lo := 0; lo < len(specs); {
+		hi := lo + chunk
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		sub, err := exec.RunAll(ctx, specs[lo:hi])
+		if err != nil {
+			var se *serve.StatusError
+			if errors.As(err, &se) && se.Code == http.StatusTooManyRequests && chunk > 1 {
+				chunk = (chunk + 1) / 2
+				continue
+			}
+			return nil, err
+		}
+		recs = append(recs, sub...)
+		lo = hi
+	}
+	return recs, nil
+}
+
+// sweepError marks a grid failure that happened during execution (as opposed
+// to a usage error in the flag value or grid restriction): main reports it
+// with exit 1, the same contract as a failed experiment.
+type sweepError struct{ err error }
+
+func (e *sweepError) Error() string { return e.err.Error() }
+func (e *sweepError) Unwrap() error { return e.err }
+
+// gridSweep executes one grid sweep and renders it. The emitted JSON
+// envelope is deterministic — host-elapsed fields are zeroed — so a sweep
+// through `-remote` is byte-identical to the same sweep in-process.
+func gridSweep(w io.Writer, gridFlag, variant, platform string, procs int,
+	exec batchExecutor, jsonOut, md bool) error {
+
+	name, restrict, err := parseGridFlag(gridFlag)
+	if err != nil {
+		return err
+	}
+	pts, err := run.GridSpecs(name, variant, platform, procs, restrict)
+	if err != nil {
+		return err
+	}
+	wl, err := suite.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if variant == "" {
+		variant = wl.Reference
+	}
+	id := "grid:" + name
+	title := fmt.Sprintf("%s scenario grid (%s on %s, %d procs, %d points)",
+		wl.Title, variant, platform, procs, len(pts))
+
+	specs := make([]run.Spec, len(pts))
+	for i, gp := range pts {
+		specs[i] = gp.Spec
+	}
+	recs, runErr := runAdmitted(exec, specs)
+	if runErr != nil {
+		if jsonOut {
+			// The envelope contract holds on failure too: an explicit failed
+			// manifest, so a consumer gating on `.failed == []` rejects a
+			// partial sweep instead of a truncated record list passing.
+			if err := writeRecordSet(w, nil, []run.ExperimentFailure{
+				{Experiment: id, Error: runErr.Error()}}); err != nil {
+				return err
+			}
+		}
+		return &sweepError{fmt.Errorf("grid %s: %w", name, runErr)}
+	}
+	for i := range recs {
+		recs[i].HostElapsed = 0
+	}
+
+	if jsonOut {
+		return writeRecordSet(w, []run.ExperimentRecords{
+			{Experiment: id, Title: title, Records: recs}}, nil)
+	}
+
+	axes := wl.Grid
+	if len(restrict) > 0 {
+		if axes, err = wl.Grid.Sub(restrict); err != nil {
+			return err
+		}
+	}
+	cols := []string{}
+	for _, a := range axes.Axes {
+		cols = append(cols, a.Name)
+	}
+	cols = append(cols, "Model (s)", "Paper-scale (s)", "Checksum")
+	tb := &report.Table{
+		ID:      id,
+		Title:   title,
+		Columns: cols,
+		Notes: []string{
+			"row-major over the declared axes; every point validates, so every row carries the conformance checksum",
+		},
+	}
+	for i, rec := range recs {
+		row := []any{}
+		for _, a := range axes.Axes {
+			row = append(row, fmt.Sprintf("%g", pts[i].Point[a.Name]))
+		}
+		row = append(row, rec.ModelSeconds, rec.PaperSeconds,
+			fmt.Sprintf("%016x", uint64(rec.Checksum)))
+		tb.AddRow(row...)
+	}
+	if md {
+		fmt.Fprintln(w, tb.Markdown())
+	} else {
+		fmt.Fprintln(w, tb.Render())
+	}
+	return nil
+}

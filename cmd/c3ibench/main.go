@@ -25,6 +25,13 @@
 //	c3ibench -run ro-streams -cpuprofile cpu.out -memprofile mem.out
 //	                               # profile the engine hot paths under a real
 //	                               # sweep (go tool pprof cpu.out)
+//	c3ibench -grid hypothesis-testing -json
+//	                               # sweep a workload's declared scenario grid:
+//	                               # one validated run record per grid point,
+//	                               # row-major over the declared axes
+//	c3ibench -grid "hypothesis-testing=gate:24,48;net:0"
+//	                               # restrict axes to subsets of their declared
+//	                               # values (quote the = and ; for the shell)
 //	c3ibench -run table5 -stats -  # print the Runner's metrics snapshot
 //	                               # (JSON: per-workload exec latency
 //	                               # histograms with p50/p95/p99, cache/store
@@ -43,6 +50,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -67,6 +75,10 @@ func main() {
 		jsonOut = flag.Bool("json", false, "emit the raw run records as JSON instead of rendered tables/figures")
 		text    = flag.Bool("text", true, "include free-text output (compiler feedback)")
 		remote  = flag.String("remote", "", "execute run Specs against a c3iserve or c3irouter endpoint (base URL) instead of in-process")
+		grid    = flag.String("grid", "", `sweep a workload's declared scenario grid: "workload" or "workload=axis:v1,v2[;axis:...]"`)
+		gridVar = flag.String("grid-variant", "", "variant for -grid (default: the workload's reference variant)")
+		gridPlt = flag.String("grid-platform", "tera", "platform key for -grid")
+		gridNP  = flag.Int("grid-procs", 2, "processor count for -grid")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf = flag.String("memprofile", "", "write a post-sweep heap profile to this file")
 		stats   = flag.String("stats", "", `write the Runner's metrics snapshot (JSON) after the sweep to this file ("-" = stdout)`)
@@ -95,6 +107,33 @@ func main() {
 
 	if *list {
 		printList()
+		return
+	}
+
+	if *grid != "" {
+		// A grid sweep is a standalone mode: it emits one records envelope
+		// (or one table) for exactly the declared points, so mixing it with
+		// an experiment sweep would interleave two different documents.
+		if *all || *runIDs != "" {
+			fmt.Fprintln(os.Stderr, "c3ibench: -grid is standalone; drop -run/-all")
+			os.Exit(2)
+		}
+		if *gridNP < 1 {
+			fmt.Fprintf(os.Stderr, "c3ibench: -grid-procs %d: must be at least 1\n", *gridNP)
+			os.Exit(2)
+		}
+		var exec batchExecutor = run.NewRunner(*jobs)
+		if *remote != "" {
+			exec = &serve.Client{Addr: *remote, Metrics: experiments.Metrics()}
+		}
+		if err := gridSweep(os.Stdout, *grid, *gridVar, *gridPlt, *gridNP, exec, *jsonOut, *md); err != nil {
+			fmt.Fprintf(os.Stderr, "c3ibench: %v\n", err)
+			var se *sweepError
+			if errors.As(err, &se) {
+				os.Exit(1) // the sweep itself failed
+			}
+			os.Exit(2) // bad flag value, unknown workload/axis, undeclared point
+		}
 		return
 	}
 
@@ -287,6 +326,21 @@ func printList() {
 				params = "defaults " + v.Defaults.String()
 			}
 			fmt.Printf("    %-12s style=%-10s %s\n", v.Name, v.Style, params)
+		}
+		if w.Grid != nil && len(w.Grid.Axes) > 0 {
+			fmt.Printf("    grid (%d points):\n", len(w.Grid.Points()))
+			for _, a := range w.Grid.Axes {
+				vals := make([]string, len(a.Values))
+				for i, v := range a.Values {
+					vals[i] = fmt.Sprintf("%g", v)
+				}
+				unit := ""
+				if a.Unit != "" {
+					unit = " " + a.Unit
+				}
+				fmt.Printf("      axis %-8s {%s}%s (default %g)\n",
+					a.Name, strings.Join(vals, ", "), unit, a.Default)
+			}
 		}
 	}
 	fmt.Println()

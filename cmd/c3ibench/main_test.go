@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"net/http"
+	"reflect"
 	"strings"
 	"testing"
 
+	_ "repro/internal/experiments" // register the shipped workloads
 	"repro/internal/run"
+	"repro/internal/serve"
 )
 
 func TestWriteRecordSetEnvelope(t *testing.T) {
@@ -34,6 +40,175 @@ func TestWriteRecordSetEnvelope(t *testing.T) {
 	if len(set.Failed) != 1 || set.Failed[0].Experiment != "table9" ||
 		!strings.Contains(set.Failed[0].Error, "exploded") {
 		t.Errorf("failure manifest = %+v, want table9/engine exploded", set.Failed)
+	}
+}
+
+func TestParseGridFlag(t *testing.T) {
+	name, restrict, err := parseGridFlag("hypothesis-testing")
+	if err != nil || name != "hypothesis-testing" || restrict != nil {
+		t.Errorf("bare form: name=%q restrict=%v err=%v", name, restrict, err)
+	}
+	name, restrict, err = parseGridFlag("hypothesis-testing=gate:24,48;net: 0")
+	if err != nil || name != "hypothesis-testing" {
+		t.Fatalf("restricted form: name=%q err=%v", name, err)
+	}
+	want := map[string][]float64{"gate": {24, 48}, "net": {0}}
+	if !reflect.DeepEqual(restrict, want) {
+		t.Errorf("restrict = %v, want %v", restrict, want)
+	}
+	for flagVal, wantSub := range map[string]string{
+		"=gate:24":              "need",         // empty workload name
+		"ht=gate":               "axis",         // restriction without values
+		"ht=gate:24;gate:48":    "twice",        // duplicate axis
+		"ht=gate:24,twentyfive": "not a number", // unparseable value
+	} {
+		if _, _, err := parseGridFlag(flagVal); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("parseGridFlag(%q) err = %v, want mention of %q", flagVal, err, wantSub)
+		}
+	}
+}
+
+func TestGridSweepJSONEnvelope(t *testing.T) {
+	// A restricted sweep must land one validated record per grid point in a
+	// benchgate-parseable envelope with an empty failure manifest, and the
+	// host wall clock zeroed so the artifact is deterministic.
+	var sb strings.Builder
+	err := gridSweep(&sb, "hypothesis-testing=scale:0.05;gate:24,48;prune:0;net:0,1",
+		"", "tera", 2, run.NewRunner(1), true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var set run.RecordSet
+	if err := json.Unmarshal([]byte(sb.String()), &set); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Failed) != 0 {
+		t.Errorf("failed = %+v, want empty", set.Failed)
+	}
+	if len(set.Experiments) != 1 || set.Experiments[0].Experiment != "grid:hypothesis-testing" {
+		t.Fatalf("experiments = %+v", set.Experiments)
+	}
+	recs := set.Experiments[0].Records
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want one per grid point (4)", len(recs))
+	}
+	seen := map[string]bool{}
+	for _, rec := range recs {
+		if rec.HostElapsed != 0 {
+			t.Errorf("%s: host_elapsed_ns = %d, want 0 (deterministic envelope)", rec.Key, rec.HostElapsed)
+		}
+		if rec.Checksum == 0 {
+			t.Errorf("%s: zero checksum — grid points must validate", rec.Key)
+		}
+		if seen[rec.Key] {
+			t.Errorf("duplicate record key %q", rec.Key)
+		}
+		seen[rec.Key] = true
+	}
+}
+
+func TestGridSweepTableHasAxisColumns(t *testing.T) {
+	var sb strings.Builder
+	err := gridSweep(&sb, "hypothesis-testing=scale:0.05;gate:24;prune:0;net:0",
+		"", "tera", 2, run.NewRunner(1), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, col := range []string{"scale", "gate", "prune", "net", "Checksum"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("table output missing column %q:\n%s", col, out)
+		}
+	}
+}
+
+// admissionExecutor rejects any batch larger than cap with 429 — the shape
+// of a c3iserve pool queue smaller than a whole-grid batch.
+type admissionExecutor struct {
+	cap     int
+	batches []int
+}
+
+func (a *admissionExecutor) RunAll(_ context.Context, specs []run.Spec) ([]run.Record, error) {
+	if len(specs) > a.cap {
+		return nil, &serve.StatusError{Code: http.StatusTooManyRequests,
+			Status: "429 Too Many Requests", Msg: "pool queue is full"}
+	}
+	a.batches = append(a.batches, len(specs))
+	recs := make([]run.Record, len(specs))
+	for i, sp := range specs {
+		recs[i] = run.Record{Key: sp.Key()}
+	}
+	return recs, nil
+}
+
+func TestRunAdmittedShrinksBatchesUntilAdmitted(t *testing.T) {
+	// 81 specs against a server that admits at most 6 at a time: the sweep
+	// must halve 81→41→21→11→6 and then deliver every record, in order.
+	specs := make([]run.Spec, 81)
+	for i := range specs {
+		specs[i] = run.Spec{Workload: "w", Variant: "v", Platform: "alpha",
+			Procs: 1, Scale: float64(i+1) / 100}
+	}
+	ex := &admissionExecutor{cap: 6}
+	recs, err := runAdmitted(ex, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(specs) {
+		t.Fatalf("got %d records, want %d", len(recs), len(specs))
+	}
+	for i, rec := range recs {
+		if rec.Key != specs[i].Key() {
+			t.Fatalf("record %d out of order: %q", i, rec.Key)
+		}
+	}
+	for _, n := range ex.batches {
+		if n > ex.cap {
+			t.Errorf("batch of %d exceeded the admitted size %d", n, ex.cap)
+		}
+	}
+
+	// A 429 at chunk size 1 is a real failure, not an admission loop.
+	_, err = runAdmitted(&admissionExecutor{cap: 0}, specs[:2])
+	var se *serve.StatusError
+	if !errors.As(err, &se) {
+		t.Errorf("cap 0: err = %v, want the 429 surfaced", err)
+	}
+}
+
+type failingExecutor struct{}
+
+func (failingExecutor) RunAll(context.Context, []run.Spec) ([]run.Record, error) {
+	return nil, errors.New("fleet unreachable")
+}
+
+func TestGridSweepExecutionFailureEmitsFailedManifest(t *testing.T) {
+	// When the executor dies mid-sweep the JSON contract still holds: an
+	// envelope with an explicit failure entry, and an error main maps to
+	// exit 1 (execution) rather than exit 2 (usage).
+	var sb strings.Builder
+	err := gridSweep(&sb, "hypothesis-testing=scale:0.05;gate:24;prune:0;net:0",
+		"", "tera", 2, failingExecutor{}, true, false)
+	var se *sweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a *sweepError", err)
+	}
+	var set run.RecordSet
+	if err := json.Unmarshal([]byte(sb.String()), &set); err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Experiments) != 0 {
+		t.Errorf("experiments = %+v, want empty", set.Experiments)
+	}
+	if len(set.Failed) != 1 || !strings.Contains(set.Failed[0].Error, "fleet unreachable") {
+		t.Errorf("failure manifest = %+v", set.Failed)
+	}
+
+	// Usage-shaped failures (an undeclared value) are not sweepErrors.
+	err = gridSweep(&sb, "hypothesis-testing=gate:17", "", "tera", 2, run.NewRunner(1), true, false)
+	if err == nil || errors.As(err, &se) {
+		t.Errorf("undeclared grid value: err = %v, want a plain (usage) error", err)
 	}
 }
 

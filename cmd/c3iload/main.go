@@ -32,10 +32,11 @@ import (
 	"syscall"
 	"time"
 
-	_ "repro/internal/c3i/plottrack" // register the Plot-Track Assignment workload
-	_ "repro/internal/c3i/route"     // register the Route Optimization workload
-	_ "repro/internal/c3i/terrain"   // register the Terrain Masking workload
-	_ "repro/internal/c3i/threat"    // register the Threat Analysis workload
+	_ "repro/internal/c3i/hypothesis" // register the Hypothesis Testing workload
+	_ "repro/internal/c3i/plottrack"  // register the Plot-Track Assignment workload
+	_ "repro/internal/c3i/route"      // register the Route Optimization workload
+	_ "repro/internal/c3i/terrain"    // register the Terrain Masking workload
+	_ "repro/internal/c3i/threat"     // register the Threat Analysis workload
 	"repro/internal/load"
 )
 

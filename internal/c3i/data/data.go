@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/c3i/hypothesis"
 	"repro/internal/c3i/plottrack"
 	"repro/internal/c3i/route"
 	"repro/internal/c3i/suite"
@@ -25,15 +26,16 @@ import (
 
 // magic identifies scenario files; the byte after it is a format version.
 // Version 2 added the Route Optimization scenario kind; version 3 added
-// Plot-Track Assignment.
+// Plot-Track Assignment; version 4 added Hypothesis Testing.
 const (
 	magic   = "C3IPBS\x00"
-	version = 3
+	version = 4
 
 	kindThreat  = "threat-analysis"
 	kindTerrain = "terrain-masking"
 	kindRoute   = "route-optimization"
 	kindPlot    = "plot-track-assignment"
+	kindHypo    = "hypothesis-testing"
 )
 
 // header is the self-describing prefix of every scenario file.
@@ -236,6 +238,64 @@ func LoadPlotScenario(path string) (*plottrack.Scenario, error) {
 	return &plottrack.Scenario{Name: pf.Name, Field: pf.Field, Tracks: pf.Tracks, Frames: pf.Frames}, nil
 }
 
+// hypoFile is the serialized form of a Hypothesis Testing scenario.
+type hypoFile struct {
+	Name  string
+	Field int32
+	Steps int32
+	Hyps  []hypothesis.Hypothesis
+	Obs   []hypothesis.Observation
+}
+
+// SaveHypothesisScenario writes a Hypothesis Testing scenario to path.
+func SaveHypothesisScenario(path string, s *hypothesis.Scenario) error {
+	return writeFile(path, kindHypo, hypoFile{
+		Name: s.Name, Field: s.Field, Steps: s.Steps, Hyps: s.Hyps, Obs: s.Obs,
+	})
+}
+
+// LoadHypothesisScenario reads a Hypothesis Testing scenario from path.
+func LoadHypothesisScenario(path string) (*hypothesis.Scenario, error) {
+	var hf hypoFile
+	if err := readFile(path, kindHypo, &hf); err != nil {
+		return nil, err
+	}
+	if hf.Field <= 0 || hf.Steps <= 0 {
+		return nil, fmt.Errorf("data: %s: field %d / steps %d, want positive", path, hf.Field, hf.Steps)
+	}
+	for _, h := range hf.Hyps {
+		if h.X < 0 || h.X >= hf.Field || h.Y < 0 || h.Y >= hf.Field {
+			return nil, fmt.Errorf("data: %s: hypothesis %d at (%d,%d) outside %d×%d field",
+				path, h.ID, h.X, h.Y, hf.Field, hf.Field)
+		}
+		if h.VX < -hypothesis.MaxSpeed || h.VX > hypothesis.MaxSpeed ||
+			h.VY < -hypothesis.MaxSpeed || h.VY > hypothesis.MaxSpeed {
+			return nil, fmt.Errorf("data: %s: hypothesis %d velocity (%d,%d) outside ±%d",
+				path, h.ID, h.VX, h.VY, hypothesis.MaxSpeed)
+		}
+		if h.Prior < 0 || h.Prior > hypothesis.MaxPrior {
+			return nil, fmt.Errorf("data: %s: hypothesis %d prior %d outside 0..%d",
+				path, h.ID, h.Prior, hypothesis.MaxPrior)
+		}
+	}
+	for i, o := range hf.Obs {
+		if o.T < 0 || o.T >= hf.Steps {
+			return nil, fmt.Errorf("data: %s: observation %d at step %d outside 0..%d",
+				path, o.ID, o.T, hf.Steps-1)
+		}
+		if o.X < 0 || o.X >= hf.Field || o.Y < 0 || o.Y >= hf.Field {
+			return nil, fmt.Errorf("data: %s: observation %d at (%d,%d) outside %d×%d field",
+				path, o.ID, o.X, o.Y, hf.Field, hf.Field)
+		}
+		if i > 0 && o.T < hf.Obs[i-1].T {
+			return nil, fmt.Errorf("data: %s: observation stream not time-ordered at index %d", path, i)
+		}
+	}
+	return &hypothesis.Scenario{
+		Name: hf.Name, Field: hf.Field, Steps: hf.Steps, Hyps: hf.Hyps, Obs: hf.Obs,
+	}, nil
+}
+
 // AssignmentChecksum reduces a Plot-Track Assignment result to a stable
 // checksum over the problem shape and the per-frame minimum assignment
 // costs — the quantities every solver variant provably shares regardless of
@@ -260,6 +320,15 @@ func IntervalsChecksum(ivs []threat.Interval) uint64 { return threat.Checksum(iv
 // the float32 bit patterns (+Inf cells included, so coverage changes are
 // detected).
 func MaskingChecksum(m *terrain.Masking) uint64 { return m.Checksum() }
+
+// SurvivorChecksum reduces a Hypothesis Testing result to a stable checksum
+// over the problem shape, the best score and the surviving hypotheses with
+// their evidence totals. Evidence addition commutes, so all solver variants
+// (including the nondeterministically-ordered fine-grained one) produce the
+// same value.
+func SurvivorChecksum(out *hypothesis.Output, hyps, obs int) uint64 {
+	return hypothesis.Checksum(out, hyps, obs)
+}
 
 // Codec bundles the serialization hooks for one registered workload kind,
 // so registry-driven consumers (cmd/c3idata) can save and load scenarios
@@ -316,6 +385,17 @@ var codecs = map[string]Codec{
 			return SavePlotScenario(path, s)
 		},
 		Load: func(path string) (suite.Scenario, error) { return LoadPlotScenario(path) },
+	},
+	kindHypo: {
+		Kind: kindHypo,
+		Save: func(path string, sc suite.Scenario) error {
+			s, ok := sc.(*hypothesis.Scenario)
+			if !ok {
+				return fmt.Errorf("data: %s codec got %T", kindHypo, sc)
+			}
+			return SaveHypothesisScenario(path, s)
+		},
+		Load: func(path string) (suite.Scenario, error) { return LoadHypothesisScenario(path) },
 	},
 }
 

@@ -75,6 +75,18 @@ func init() {
 		Generate: func(scale float64) []suite.Scenario {
 			return suite.Scenarios(Suite(scale))
 		},
+		// A modest declared grid: sensor load × gating radius. Gate values
+		// stay at or above the generation default, so every plot keeps its
+		// gated candidates and the auction stays well-conditioned at every
+		// point. ("epsilon" is deliberately not an axis: values above
+		// DefaultEpsilon trade exactness for speed, and the styles only
+		// provably agree at the exact optimum.)
+		Grid: &suite.Grid{Axes: []suite.Axis{
+			{Name: "scale", Kind: suite.AxisScale, Unit: "fraction of paper scale",
+				Values: []float64{0.04, 0.1, 0.25}, Default: 0.25},
+			{Name: "gate", Kind: suite.AxisParam, Unit: "field units",
+				Values: []float64{DefaultGate, 2 * DefaultGate}, Default: DefaultGate},
+		}},
 		Variants: []*suite.Variant{
 			{
 				// The Gauss-Seidel auction: greedy with repair — the

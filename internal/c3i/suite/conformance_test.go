@@ -11,7 +11,8 @@ import (
 	"strings"
 	"testing"
 
-	_ "repro/internal/c3i/plottrack" // register the four shipped workloads
+	_ "repro/internal/c3i/hypothesis" // register the five shipped workloads
+	_ "repro/internal/c3i/plottrack"
 	_ "repro/internal/c3i/route"
 	"repro/internal/c3i/suite"
 	_ "repro/internal/c3i/terrain"
@@ -29,6 +30,7 @@ var shipped = []string{
 	"terrain-masking",
 	"route-optimization",
 	"plot-track-assignment",
+	"hypothesis-testing",
 }
 
 // smallScale returns a shipped workload's registered smoke-test scale.
@@ -45,8 +47,8 @@ func smallScale(t *testing.T, name string) float64 {
 }
 
 func TestShippedWorkloadsConform(t *testing.T) {
-	if len(shipped) != 4 {
-		t.Fatalf("%d shipped workloads listed, want 4", len(shipped))
+	if len(shipped) != 5 {
+		t.Fatalf("%d shipped workloads listed, want 5", len(shipped))
 	}
 	for _, name := range shipped {
 		w, err := suite.Lookup(name)
@@ -168,6 +170,200 @@ func TestVariantDefaultsAreComplete(t *testing.T) {
 			}); err != nil {
 				t.Errorf("%s/%s with default params: %v", name, v.Name, err)
 			}
+		}
+	}
+}
+
+// solveAt runs one variant over the first scenario of a workload at a grid
+// binding (scale + params) in validate mode and returns the checksum.
+func solveAt(t *testing.T, w *suite.Workload, v *suite.Variant, b suite.Binding) uint64 {
+	t.Helper()
+	scale := b.Scale
+	if scale == 0 {
+		scale = w.SmallScale
+	}
+	scs := w.Generate(scale)
+	if len(scs) == 0 {
+		t.Fatalf("%s: Generate(%g) returned no scenarios", w.Name, scale)
+	}
+	sc := scs[0]
+	sc.Warm()
+	out := solveRef2(t, v, sc, suite.Params{suite.ValidateParam: 1}.Merged(b.Params))
+	if out.Checksum == 0 {
+		t.Fatalf("%s/%s at scale %g params %s: validate run produced no checksum",
+			w.Name, v.Name, scale, b.Params.String())
+	}
+	return out.Checksum
+}
+
+// solveRef2 is solveRef with explicit params.
+func solveRef2(t *testing.T, v *suite.Variant, sc suite.Scenario, p suite.Params) suite.Output {
+	t.Helper()
+	alpha, err := platforms.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out suite.Output
+	if _, err := alpha.New(1).Run("conformance", func(th *machine.Thread) {
+		out = v.Exec(th, sc, p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// semanticKey collapses grid bindings that cannot change a workload's
+// output: the net axis only rescales the machine model's time, so points
+// differing only in network maturity share one conformance obligation.
+func semanticKey(b suite.Binding) string {
+	return fmt.Sprintf("s%g|%s", b.Scale, b.Params.String())
+}
+
+// TestVariantsAgreeAtEveryGridPoint is the grid-wide conformance contract:
+// for every shipped workload that declares a scenario grid, all of its
+// program styles must produce the same output checksum at every declared
+// grid point — not just at the paper defaults.
+func TestVariantsAgreeAtEveryGridPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid sweep skipped in -short mode")
+	}
+	gridded := 0
+	for _, name := range shipped {
+		w, err := suite.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Grid == nil {
+			continue
+		}
+		gridded++
+		t.Run(name, func(t *testing.T) {
+			seen := map[string]bool{}
+			for _, pt := range w.Grid.Points() {
+				b, err := w.Grid.Apply(pt)
+				if err != nil {
+					t.Fatalf("point %s: %v", w.Grid.PointLabel(pt), err)
+				}
+				if k := semanticKey(b); seen[k] {
+					continue
+				} else {
+					seen[k] = true
+				}
+				var golden uint64
+				for i, v := range w.Variants {
+					sum := solveAt(t, w, v, b)
+					if i == 0 {
+						golden = sum
+						continue
+					}
+					if sum != golden {
+						t.Errorf("%s at %s: checksum %016x != %s's %016x",
+							v.Name, w.Grid.PointLabel(pt), sum, w.Variants[0].Name, golden)
+					}
+				}
+			}
+			if len(seen) < 2 {
+				t.Errorf("grid collapses to %d distinct problem shapes — not a grid", len(seen))
+			}
+		})
+	}
+	if gridded == 0 {
+		t.Fatal("no shipped workload declares a scenario grid")
+	}
+}
+
+// TestHypothesisGridPropertySquare is the always-on property check over a
+// 2×2 sub-grid of the hypothesis-testing grid: at every point the three
+// styles agree, and across points the checksums differ — the grid axes
+// actually change the problem, and agreement at one point is not agreement
+// everywhere.
+func TestHypothesisGridPropertySquare(t *testing.T) {
+	w, err := suite.Lookup("hypothesis-testing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := w.Grid.Sub(map[string][]float64{
+		"scale": {0.05},
+		"gate":  {24, 48},
+		"prune": {0, 500},
+		"net":   {0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := sub.Points()
+	if len(pts) != 4 {
+		t.Fatalf("2×2 sub-grid has %d points", len(pts))
+	}
+	sums := map[uint64]string{}
+	for _, pt := range pts {
+		b, err := sub.Apply(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var golden uint64
+		for i, v := range w.Variants {
+			sum := solveAt(t, w, v, b)
+			if i == 0 {
+				golden = sum
+				continue
+			}
+			if sum != golden {
+				t.Errorf("%s at %s: checksum %016x != %s's %016x",
+					v.Name, sub.PointLabel(pt), sum, w.Variants[0].Name, golden)
+			}
+		}
+		if prev, dup := sums[golden]; dup {
+			t.Errorf("points %s and %s share checksum %016x — an axis is inert",
+				prev, sub.PointLabel(pt), golden)
+		}
+		sums[golden] = sub.PointLabel(pt)
+	}
+}
+
+// TestHypothesisParamErrors exercises the registry-level error paths of the
+// fifth workload: every variant must reject an invalid gating window or
+// prune threshold with a diagnostic panic rather than silently computing a
+// wrong (checksum-breaking) score vector.
+func TestHypothesisParamErrors(t *testing.T) {
+	w, err := suite.Lookup("hypothesis-testing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := w.Generate(smallScale(t, w.Name))
+	sc := scs[0]
+	sc.Warm()
+	alpha, err := platforms.Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		label string
+		p     suite.Params
+		want  string
+	}{
+		{"zero gate", suite.Params{"gate": 0}, "gating window"},
+		{"negative gate", suite.Params{"gate": -3}, "gating window"},
+		{"negative prune", suite.Params{"prune": -1}, "prune threshold"},
+		{"prune over 1000", suite.Params{"prune": 1001}, "prune threshold"},
+	}
+	for _, v := range w.Variants {
+		for _, tc := range bad {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Errorf("%s/%s: no panic", v.Name, tc.label)
+						return
+					}
+					if msg := fmt.Sprint(r); !strings.Contains(msg, tc.want) {
+						t.Errorf("%s/%s: panic %q does not mention %q", v.Name, tc.label, msg, tc.want)
+					}
+				}()
+				alpha.New(1).Run("bad-params", func(th *machine.Thread) {
+					v.Exec(th, sc, tc.p)
+				})
+			}()
 		}
 	}
 }

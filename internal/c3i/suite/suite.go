@@ -179,6 +179,12 @@ type Workload struct {
 	Generate func(scale float64) []Scenario
 	// Variants are the workload's program styles, listing order preserved.
 	Variants []*Variant
+	// Grid, when non-nil, declares the workload's swept scenario-parameter
+	// space (see Grid): named axes with discrete values and a registered
+	// paper-point default each. Every program style must agree on the
+	// output checksum at every declared point — the conformance tests
+	// enforce it, `c3ibench -grid` sweeps it.
+	Grid *Grid
 }
 
 // Variant returns the named variant.
@@ -292,6 +298,11 @@ func check(w *Workload) error {
 	for _, name := range w.ValidateVariants {
 		if !seen[name] {
 			return fmt.Errorf("suite: workload %s validate variant %q not registered", w.Name, name)
+		}
+	}
+	if w.Grid != nil {
+		if err := checkGrid(w); err != nil {
+			return err
 		}
 	}
 	return nil

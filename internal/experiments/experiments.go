@@ -24,8 +24,9 @@ import (
 	"sync"
 	"time"
 
-	_ "repro/internal/c3i/plottrack" // register the Plot-Track Assignment workload
-	_ "repro/internal/c3i/route"     // register the Route Optimization workload
+	_ "repro/internal/c3i/hypothesis" // register the Hypothesis Testing workload
+	_ "repro/internal/c3i/plottrack"  // register the Plot-Track Assignment workload
+	_ "repro/internal/c3i/route"      // register the Route Optimization workload
 	"repro/internal/c3i/suite"
 	_ "repro/internal/c3i/terrain" // register the Terrain Masking workload
 	_ "repro/internal/c3i/threat"  // register the Threat Analysis workload
@@ -40,6 +41,7 @@ const (
 	TM = "terrain-masking"
 	RO = "route-optimization"
 	PT = "plot-track-assignment"
+	HT = "hypothesis-testing"
 )
 
 // Config controls workload sizes and execution placement for one experiment
@@ -195,6 +197,10 @@ func All() []Experiment {
 		{"pt-streams", "Plot-Track Assignment scaling with threads: MTA vs cached SMPs (+ figure)", runPlotStreams},
 		{"pt-variants", "Plot-Track Assignment parallelization styles across platforms", runPlotVariants},
 		{"pt-pipelined", "Plot-Track Assignment exposed-latency ablation (dependent price loads vs perfect lookahead)", runPlotPipelined},
+		{"ht-sequential", "Sequential Hypothesis Testing without parallelization (suite extension)", runHypoSeq},
+		{"ht-streams", "Hypothesis Testing scaling with threads: MTA vs cached SMPs (+ figure)", runHypoStreams},
+		{"ht-variants", "Hypothesis Testing parallelization styles across platforms", runHypoVariants},
+		{"ht-grid", "Hypothesis Testing over the declared scenario grid (scale × gate × prune × network)", runHypoGrid},
 	}
 }
 

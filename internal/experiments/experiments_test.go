@@ -15,7 +15,7 @@ import (
 // programs through machine models), so they are the repository's
 // end-to-end checks.
 
-var testCfg = Config{Scales: map[string]float64{TA: 0.1, TM: 0.1, RO: 0.05, PT: 0.1}}
+var testCfg = Config{Scales: map[string]float64{TA: 0.1, TM: 0.1, RO: 0.05, PT: 0.1, HT: 0.1}}
 
 // testX is the Exec the helper-level tests run their Specs through; it
 // shares the package Runner, so cells overlap with the experiment-level
@@ -541,6 +541,133 @@ func TestPlotPipelinedAblationShape(t *testing.T) {
 	if p < d*0.3 {
 		t.Errorf("pipelined %.2f vs %.2f: lookahead should not erase most of the time", p, d)
 	}
+}
+
+func TestHypoSequentialOrdering(t *testing.T) {
+	// The suite's reduction-heavy workload: the scoring loop's evidence
+	// commits are scattered read-modify-writes, so the cache-less MTA pays a
+	// substantial sequential penalty, like the other workloads.
+	alpha, err := htSeq(testX, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tera, err := htSeq(testX, "tera", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tera / alpha; r < 4 || r > 30 {
+		t.Errorf("tera/alpha = %.1f, want 4-30 (scatter-adds expose full latency)", r)
+	}
+}
+
+func TestHypoMTAScalesWhileSMPsSaturate(t *testing.T) {
+	// The acceptance shape for the fifth workload: the MTA's asynchronous
+	// scatter-add reduction keeps scaling with streams, while on the cached
+	// SMPs the crew overhead (OS thread creation, the merge's linear-in-
+	// workers partial-buffer traffic) swamps the small reduction almost
+	// immediately. Run at full scale so the SMP crew has its best case.
+	big := &Exec{Cfg: Config{Scales: map[string]float64{HT: 1}}, ctx: context.Background(), runner: sharedRunner}
+	fine1, _, err := htFine(big, "tera", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine128, _, err := htFine(big, "tera", 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtaSpeedup := fine1 / fine128
+	if mtaSpeedup < 8 {
+		t.Errorf("MTA fine-grained speedup at 128 threads = %.1f, want ≥ 8", mtaSpeedup)
+	}
+	ex1, _, err := htCoarse(big, "exemplar", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exBest := ex1
+	for _, w := range []int{2, 4, 8} {
+		s, _, err := htCoarse(big, "exemplar", 16, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < exBest {
+			exBest = s
+		}
+	}
+	ex16, _, err := htCoarse(big, "exemplar", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exBest >= ex1 {
+		t.Errorf("Exemplar coarse never beat one worker: best %.2f s vs %.2f s", exBest, ex1)
+	}
+	if s := ex1 / exBest; s >= mtaSpeedup {
+		t.Errorf("Exemplar speedup %.1f not below MTA's %.1f — the SMP should saturate first", s, mtaSpeedup)
+	}
+	if ex16 < exBest {
+		t.Errorf("Exemplar kept scaling to 16 workers: %.2f s vs best %.2f s — crew overhead should bite", ex16, exBest)
+	}
+}
+
+func TestHypoFineGrainedImpracticalOnSMP(t *testing.T) {
+	// The Tera style (a thread per observation, full/empty evidence commits)
+	// must be clearly worse than the coarse crew on a conventional SMP.
+	coarse, _, err := htCoarse(testX, "exemplar", 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, _, err := htFine(testX, "exemplar", 16, htFineCompare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine < coarse*1.5 {
+		t.Errorf("fine (%.1f) vs coarse (%.1f) on Exemplar: want ≥ 1.5x worse", fine, coarse)
+	}
+}
+
+func TestHypoGridOneRecordPerPoint(t *testing.T) {
+	// The grid sweep experiment must execute exactly the declared grid: one
+	// validated record per point, in the grid's canonical order, every
+	// record carrying a checksum, and all records at one semantic point
+	// (same scale and params, different network) agreeing on it.
+	pts, err := run.GridSpecs(HT, "fine", "tera", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Get2(t, "ht-grid").Run(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != len(pts) {
+		t.Fatalf("%d records for %d declared grid points", len(res.Records), len(pts))
+	}
+	byBinding := map[string]run.Checksum{}
+	for i, rec := range res.Records {
+		if rec.Key != pts[i].Spec.Key() {
+			t.Errorf("record %d key %s, want grid order %s", i, rec.Key, pts[i].Spec.Key())
+		}
+		if rec.Checksum == 0 {
+			t.Errorf("record %d (%s): no checksum on a validated grid run", i, rec.Key)
+		}
+		bind := fmt.Sprintf("s%g|%s", rec.Spec.Scale, rec.Spec.Params.String())
+		if prev, ok := byBinding[bind]; ok && prev != rec.Checksum {
+			t.Errorf("binding %s: checksum changed with the network axis: %016x vs %016x",
+				bind, uint64(rec.Checksum), uint64(prev))
+		}
+		byBinding[bind] = rec.Checksum
+	}
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != len(pts) {
+		t.Errorf("grid table does not have one row per point")
+	}
+}
+
+// Get2 is Get with the error folded into the test.
+func Get2(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
 }
 
 // render flattens an experiment result to one comparable string.

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/c3i/suite"
+	"repro/internal/platforms"
+	"repro/internal/report"
+	"repro/internal/run"
+)
+
+// Hypothesis Testing decomposition defaults: the worker/thread counts the
+// paper-style tables use on each architecture (hundreds of threads on the
+// MTA, one worker per processor on the conventional machines).
+const (
+	htMTAThreads  = 256 // fine-grained scoring threads on the MTA
+	htMTAWorkers  = 64  // coarse crew size on the MTA
+	htFineCompare = 64  // fine-grained thread count for cross-platform comparisons
+)
+
+// htSeq runs the sequential scoring loop on a platform and returns
+// full-suite-scale seconds.
+func htSeq(x *Exec, key string, procs int) (float64, error) {
+	return x.Seconds(x.Spec(HT, "sequential", key, procs, nil))
+}
+
+// htCoarse runs the crew reduction (private partial-score buffers, barrier,
+// per-hypothesis merge) and returns full-suite-scale seconds plus the run
+// record for utilization inspection.
+func htCoarse(x *Exec, key string, procs, workers int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(HT, "coarse", key, procs, suite.Params{"workers": workers}))
+	return rec.PaperSeconds, rec, err
+}
+
+// htFine runs the asynchronous reduction (fetch-and-add observation claims,
+// full/empty score guards).
+func htFine(x *Exec, key string, procs, threadsN int) (float64, run.Record, error) {
+	rec, err := x.Run(x.Spec(HT, "fine", key, procs, suite.Params{"threads": threadsN}))
+	return rec.PaperSeconds, rec, err
+}
+
+// runHypoSeq builds the paper-style sequential table for the fifth workload:
+// Hypothesis Testing without parallelization on all four platforms. The
+// paper's evaluation covered only Threat Analysis and Terrain Masking; there
+// is no paper column, so the table reports each platform relative to the
+// Alpha, the paper's sequential yardstick.
+func runHypoSeq(x *Exec) (*Result, error) {
+	tb := &report.Table{
+		ID:      "ht-sequential",
+		Title:   "Execution time of sequential Hypothesis Testing without parallelization",
+		Columns: []string{"Platform", "Model (s)", "vs Alpha"},
+		Notes: []string{
+			"suite extension: the C3IPBS Hypothesis Testing problem, not evaluated in the paper",
+			fmt.Sprintf("model at scale %g, normalized to the suite's %d observations/scenario",
+				x.Cfg.Scale(HT), paperUnits(HT)),
+		},
+	}
+	var alpha float64
+	for _, row := range []struct {
+		name, key string
+		procs     int
+	}{
+		{"Alpha", "alpha", 1},
+		{"Pentium Pro", "ppro", 4},
+		{"Exemplar", "exemplar", 16},
+		{"Tera", "tera", 1},
+	} {
+		sec, err := htSeq(x, row.key, row.procs)
+		if err != nil {
+			return nil, err
+		}
+		if row.name == "Alpha" {
+			alpha = sec
+		}
+		tb.AddRow(row.name, sec, fmt.Sprintf("%.2f", sec/alpha))
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}
+
+// runHypoStreams sweeps the thread count on one MTA processor (fine-grained
+// variant) against the same sweep on the cached SMPs (coarse variant, their
+// practical style): the scatter-add reduction keeps the MTA gaining as
+// streams multiply while the conventional machines saturate — the acceptance
+// shape for the suite's reduction-heavy workload.
+func runHypoStreams(x *Exec) (*Result, error) {
+	tb := &report.Table{
+		ID:    "ht-streams",
+		Title: "Hypothesis Testing vs thread count: one Tera MTA processor against the cached SMPs",
+		Columns: []string{"Threads", "MTA fine (s)", "MTA issue util",
+			"Exemplar-16 coarse (s)", "PPro-4 coarse (s)"},
+		Notes: []string{
+			"MTA commits evidence through full/empty score guards, the SMPs reduce private partial buffers (each architecture's practical style)",
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(HT)),
+		},
+	}
+	fig := &report.Figure{
+		ID: "ht-streams-figure", Title: "Hypothesis Testing speedup vs threads (speedup over 1 thread)",
+		XLabel: "threads", YLabel: "speedup",
+	}
+	var mtaS, exS, ppS report.Series
+	mtaS.Label, mtaS.Marker = "Tera MTA (1 proc)", '*'
+	exS.Label, exS.Marker = "Exemplar (16 proc)", '+'
+	ppS.Label, ppS.Marker = "Pentium Pro (4 proc)", 'o'
+	var mta1, ex1, pp1 float64
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		mtaSec, rec, err := htFine(x, "tera", 1, n)
+		if err != nil {
+			return nil, err
+		}
+		exSec, _, err := htCoarse(x, "exemplar", 16, n)
+		if err != nil {
+			return nil, err
+		}
+		ppSec, _, err := htCoarse(x, "ppro", 4, n)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			mta1, ex1, pp1 = mtaSec, exSec, ppSec
+		}
+		tb.AddRow(n, mtaSec, fmt.Sprintf("%.1f%%", rec.Stats.ProcUtil[0]*100), exSec, ppSec)
+		mtaS.X = append(mtaS.X, float64(n))
+		mtaS.Y = append(mtaS.Y, mta1/mtaSec)
+		exS.X = append(exS.X, float64(n))
+		exS.Y = append(exS.Y, ex1/exSec)
+		ppS.X = append(ppS.X, float64(n))
+		ppS.Y = append(ppS.Y, pp1/ppSec)
+	}
+	fig.Series = []report.Series{mtaS, exS, ppS}
+	return &Result{Tables: []*report.Table{tb}, Figures: []*report.Figure{fig}}, nil
+}
+
+// runHypoVariants compares the three program styles across platforms — the
+// Table 7/12 analogue for the fifth workload — and records why the coarse
+// style cannot use the MTA's hundreds of streams (every worker carries a
+// full private score vector).
+func runHypoVariants(x *Exec) (*Result, error) {
+	tera, err := platforms.Get("tera")
+	if err != nil {
+		return nil, err
+	}
+	tb := &report.Table{
+		ID:      "ht-variants",
+		Title:   "Performance comparison for execution times of Hypothesis Testing",
+		Columns: []string{"Parallelization", "Platform", "Model (s)"},
+		Notes: []string{
+			fmt.Sprintf("coarse style at %d workers would need %.1f GB of private partial-score buffers at the full C3I hypothesis-space size vs %d GB on the MTA",
+				htMTAThreads, coarseOverheadFullScaleGB(HT, htMTAThreads), tera.MemoryBytes>>30),
+			"the contested evidence commits serialize on the merge reduction for the coarse crew; the MTA's full/empty guards make the same serialization word-grained",
+			fmt.Sprintf("scale %g normalized", x.Cfg.Scale(HT)),
+		},
+	}
+	type cell struct {
+		group, name string
+		run         func() (float64, error)
+	}
+	cells := []cell{
+		{"None", "Alpha", func() (float64, error) { return htSeq(x, "alpha", 1) }},
+		{"None", "Tera", func() (float64, error) { return htSeq(x, "tera", 1) }},
+		{"Coarse", "Pentium Pro (4 processors)", func() (float64, error) {
+			s, _, err := htCoarse(x, "ppro", 4, 4)
+			return s, err
+		}},
+		{"Coarse", "Exemplar (16 processors)", func() (float64, error) {
+			s, _, err := htCoarse(x, "exemplar", 16, 16)
+			return s, err
+		}},
+		{"Coarse", fmt.Sprintf("Tera MTA (1 processor, %d workers)", htMTAWorkers), func() (float64, error) {
+			s, _, err := htCoarse(x, "tera", 1, htMTAWorkers)
+			return s, err
+		}},
+		{"Fine-grained", fmt.Sprintf("Exemplar (16 processors, %d threads)", htFineCompare), func() (float64, error) {
+			s, _, err := htFine(x, "exemplar", 16, htFineCompare)
+			return s, err
+		}},
+		{"Fine-grained", fmt.Sprintf("Tera MTA (1 processor, %d threads)", htMTAThreads), func() (float64, error) {
+			s, _, err := htFine(x, "tera", 1, htMTAThreads)
+			return s, err
+		}},
+		{"Fine-grained", fmt.Sprintf("Tera MTA (2 processors, %d threads)", htMTAThreads), func() (float64, error) {
+			s, _, err := htFine(x, "tera", 2, htMTAThreads)
+			return s, err
+		}},
+	}
+	for _, c := range cells {
+		sec, err := c.run()
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(c.group, c.name, sec)
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}
+
+// runHypoGrid sweeps the workload's declared scenario grid — every
+// combination of scale, gating window, prune threshold and network maturity
+// — through the fine-grained variant on a two-processor MTA. Unlike the
+// other experiments, each point carries its own scale (the grid's scale
+// axis), so the configured scale does not apply; every Spec validates, so
+// every row carries the output checksum the grid-wide conformance contract
+// is stated over.
+func runHypoGrid(x *Exec) (*Result, error) {
+	pts, err := run.GridSpecs(HT, "fine", "tera", 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	w, err := suite.Lookup(HT)
+	if err != nil {
+		return nil, err
+	}
+	cols := []string{}
+	for _, a := range w.Grid.Axes {
+		cols = append(cols, a.Name)
+	}
+	cols = append(cols, "Model (s)", "Checksum")
+	tb := &report.Table{
+		ID:      "ht-grid",
+		Title:   "Hypothesis Testing over the declared scenario grid (fine-grained, two-processor Tera MTA)",
+		Columns: cols,
+		Notes: []string{
+			fmt.Sprintf("%d grid points, row-major over the declared axes; net 0 is the calibrated network", len(pts)),
+			"model seconds normalized per point to the suite's full observation load at that point's scale",
+		},
+	}
+	for _, gp := range pts {
+		rec, err := x.Run(gp.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("grid point %s: %w", gp.Label, err)
+		}
+		row := []any{}
+		for _, a := range w.Grid.Axes {
+			row = append(row, fmt.Sprintf("%g", gp.Point[a.Name]))
+		}
+		row = append(row, rec.PaperSeconds, fmt.Sprintf("%016x", uint64(rec.Checksum)))
+		tb.AddRow(row...)
+	}
+	return &Result{Tables: []*report.Table{tb}}, nil
+}

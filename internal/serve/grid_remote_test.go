@@ -1,0 +1,63 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/run"
+)
+
+// TestGridSweepRemoteMatchesLocalBytes pins the acceptance contract for the
+// scenario-grid subsystem: a -grid sweep executed through a serve fleet emits
+// the same records, byte for byte, as the same sweep in-process. Everything
+// in a Record is engine-deterministic except the host wall clock, which the
+// grid envelope zeroes — so after that normalization the two serializations
+// must be identical.
+func TestGridSweepRemoteMatchesLocalBytes(t *testing.T) {
+	restrict := map[string][]float64{
+		"scale": {0.05}, "gate": {24, 48}, "prune": {0}, "net": {0, 1},
+	}
+	pts, err := run.GridSpecs("hypothesis-testing", "", "tera", 2, restrict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("restricted sub-grid has %d points, want 4", len(pts))
+	}
+	specs := make([]run.Spec, len(pts))
+	for i, gp := range pts {
+		specs[i] = gp.Spec
+	}
+
+	ctx := context.Background()
+	local, err := run.NewRunner(0).RunAll(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, client := newServer(t, "")
+	remote, err := client.RunAll(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	marshal := func(recs []run.Record) string {
+		for i := range recs {
+			recs[i].HostElapsed = 0
+		}
+		b, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	lb, rb := marshal(local), marshal(remote)
+	if lb != rb {
+		t.Errorf("grid records differ between local and remote execution:\nlocal:\n%s\nremote:\n%s", lb, rb)
+	}
+	for i, rec := range local {
+		if rec.Checksum == 0 {
+			t.Errorf("point %s: zero checksum — grid points must validate", pts[i].Label)
+		}
+	}
+}
