@@ -4,6 +4,7 @@
 //
 //	autopar            # all programs
 //	autopar -program 1 # just Program 1
+//	autopar -strict    # exit non-zero if any analyzed loop stays Sequential
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 func main() {
 	program := flag.Int("program", 0, "program number 1-4 (0 = all, plus controls)")
 	show := flag.Bool("show", false, "print each program's pseudocode listing before its analysis")
+	strict := flag.Bool("strict", false, "exit non-zero if any analyzed loop is left Sequential (CI gate)")
 	flag.Parse()
 
 	type entry struct {
@@ -32,6 +34,7 @@ func main() {
 		{4, autopar.Program4TerrainCoarse(true)},
 	}
 	matched := false
+	sequential := false
 	for _, e := range entries {
 		if *program != 0 && e.n != *program {
 			continue
@@ -43,6 +46,9 @@ func main() {
 		}
 		reports := autopar.AnalyzeProgram(e.p)
 		fmt.Print(autopar.Render(e.p.Name, reports))
+		if autopar.AnySequential(reports) {
+			sequential = true
+		}
 		if autopar.AnyPractical(reports) {
 			fmt.Println("  => practical opportunities found")
 		} else {
@@ -56,11 +62,19 @@ func main() {
 			autopar.VectorAdd(), autopar.SumReduction(),
 			autopar.StridedDisjoint(), autopar.Stencil1D(),
 		} {
-			fmt.Print(autopar.Render(p.Name, autopar.AnalyzeProgram(p)))
+			reports := autopar.AnalyzeProgram(p)
+			fmt.Print(autopar.Render(p.Name, reports))
+			if autopar.AnySequential(reports) {
+				sequential = true
+			}
 		}
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "autopar: no program %d\n", *program)
 		os.Exit(1)
+	}
+	if *strict && sequential {
+		fmt.Fprintln(os.Stderr, "autopar: sequential loops remain (-strict)")
+		os.Exit(2)
 	}
 }

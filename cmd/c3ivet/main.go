@@ -1,0 +1,86 @@
+// Command c3ivet is the repo's multichecker: it runs the internal/analysis
+// suite — determinism, fullempty, metriclint, registrylint — over the given
+// packages and exits non-zero on any finding, so CI can gate the invariants
+// every artifact contract depends on.
+//
+//	c3ivet ./...          # whole module (the CI lint job)
+//	c3ivet -list          # print the analyzer set
+//	c3ivet -v ./...       # also count suppressed findings
+//
+// Findings are silenced per line with `//c3ivet:ignore <analyzer> <reason>`
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/fullempty"
+	"repro/internal/analysis/metriclint"
+	"repro/internal/analysis/registrylint"
+)
+
+// analyzers is the registered suite, in reporting order.
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		fullempty.Analyzer,
+		metriclint.Analyzer,
+		registrylint.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	suite := analyzers()
+
+	fs := flag.NewFlagSet("c3ivet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzer set and exit")
+	verbose := fs.Bool("v", false, "report suppressed-finding counts")
+	for _, a := range suite {
+		for _, f := range a.Flags {
+			fs.StringVar(f.Value, a.Name+"."+f.Name, *f.Value, f.Usage)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := analysis.Run(analysis.Config{Patterns: patterns, Analyzers: suite})
+	if err != nil {
+		fmt.Fprintf(stderr, "c3ivet: %v\n", err)
+		return 2
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintln(stdout, d)
+	}
+	if *verbose && len(res.Suppressed) > 0 {
+		fmt.Fprintf(stdout, "c3ivet: %d finding(s) suppressed by %s directives\n",
+			len(res.Suppressed), analysis.IgnoreDirective)
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(stderr, "c3ivet: %d finding(s)\n", len(res.Diagnostics))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/determinism"
+)
+
+// TestAnalyzerSet pins the registered suite: CI's lint gate is only as strong
+// as this list.
+func TestAnalyzerSet(t *testing.T) {
+	want := []string{"determinism", "fullempty", "metriclint", "registrylint"}
+	suite := analyzers()
+	if len(suite) != len(want) {
+		t.Fatalf("analyzer count = %d, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("analyzer[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, a := range analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing %q:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag exit = %d, want 2", code)
+	}
+}
+
+// TestScopeFlagWiring proves the -determinism.scope flag reaches the
+// analyzer: the violating fixture is findings-free when the scope excludes
+// it and fails the gate when the scope matches it.
+func TestScopeFlagWiring(t *testing.T) {
+	scope := determinism.Analyzer.Flags[0].Value
+	old := *scope
+	t.Cleanup(func() { *scope = old })
+
+	fixture := "./../../internal/analysis/determinism/testdata/src/determ"
+
+	var out, errb strings.Builder
+	if code := run([]string{"-determinism.scope=no/such/path", fixture}, &out, &errb); code != 0 {
+		t.Fatalf("excluded scope exit = %d, want 0; out:\n%s", code, out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-determinism.scope=testdata/src/", fixture}, &out, &errb); code != 1 {
+		t.Fatalf("matching scope exit = %d, want 1; out:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "time.Now") {
+		t.Errorf("expected a time.Now finding, got:\n%s", out.String())
+	}
+}

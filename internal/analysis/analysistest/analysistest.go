@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against `// want "regexp"` comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// Fixture packages live under the analyzer's testdata/src/ directory and are
+// addressed by explicit relative path (testdata is invisible to `...`
+// wildcards, so each package is named outright). A want comment sits on the
+// line the diagnostic is expected at and may carry several quoted regexps:
+//
+//	x := time.Now() // want `time\.Now` "host-time"
+//
+// Every diagnostic must match a want on its line, and every want must be
+// matched by a diagnostic; suppressed diagnostics count as absent, so clean
+// fixtures can exercise ignore directives too.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies a to the fixture packages at the given testdata-relative dirs
+// (e.g. "determ", "determ_clean") and reports mismatches through t.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	var patterns []string
+	for _, fx := range fixtures {
+		patterns = append(patterns, "./"+filepath.ToSlash(filepath.Join("testdata", "src", fx)))
+	}
+	res, err := analysis.Run(analysis.Config{Patterns: patterns, Analyzers: []*analysis.Analyzer{a}})
+	if err != nil {
+		t.Fatalf("analysis run: %v", err)
+	}
+
+	wants, err := collectWants(patterns)
+	if err != nil {
+		t.Fatalf("collect want comments: %v", err)
+	}
+
+	for _, d := range res.Diagnostics {
+		if !wants.match(d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ wants []*want }
+
+func (ws *wantSet) match(d analysis.Diagnostic) bool {
+	for _, w := range ws.wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range ws.wants {
+		if !w.matched {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// collectWants re-parses the fixtures (cheaply, sharing the loader) to pull
+// out want comments with their positions.
+func collectWants(patterns []string) (*wantSet, error) {
+	fset, pkgs, err := analysis.Load("", patterns)
+	if err != nil {
+		return nil, err
+	}
+	ws := &wantSet{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					res, perr := parseWants(strings.TrimPrefix(text, "want "))
+					if perr != nil {
+						return nil, fmt.Errorf("%s: %v", pos, perr)
+					}
+					for _, re := range res {
+						ws.wants = append(ws.wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// parseWants extracts a sequence of quoted (double-quote or backquote)
+// regexps from the remainder of a want comment.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted regexp in want comment")
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted regexp %s: %v", s[:end+1], err)
+			}
+			lit, s = unq, s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted regexp in want comment")
+			}
+			lit, s = s[1:end+1], s[end+2:]
+		default:
+			return nil, fmt.Errorf("want comment must hold quoted regexps, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+	}
+}

@@ -1,0 +1,219 @@
+// Package determinism flags host-nondeterminism in model/artifact-producing
+// packages: the repo's byte-identical local-vs-remote envelope contract only
+// holds if model outputs never depend on wall-clock time, the unseeded global
+// rand source, or Go's randomized map iteration order.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// scope lists substrings of import paths the analyzer applies to; packages
+// like internal/serve legitimately use wall-clock time and jitter, so the
+// default is exactly the model/artifact surface.
+var scope = strings.Join([]string{
+	"internal/c3i/",
+	"internal/run",
+	"internal/experiments",
+	"internal/load",
+	"internal/benchgate",
+}, ",")
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flag time.Now/time.Since, global math/rand, and map iteration " +
+		"whose order can reach checksums, artifacts, or rendered tables in " +
+		"model/artifact-producing packages",
+	Flags: []*analysis.Flag{
+		{Name: "scope", Usage: "comma-separated import-path substrings the analyzer applies to", Value: &scope},
+	},
+	Run: run,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions backed
+// by the shared, unseeded source. rand.New/NewSource/NewPCG stay legal: a
+// locally-seeded generator is the sanctioned way to get spec-derived noise.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "IntN": true, "Int32": true,
+	"Int32N": true, "Int64": true, "Int64N": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+}
+
+// orderedSinkMethods are method names whose call inside a map-range body
+// means iteration order reaches rendered or hashed output directly.
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "AddRow": true,
+}
+
+func inScope(importPath string) bool {
+	for _, frag := range strings.Split(scope, ",") {
+		if frag != "" && strings.Contains(importPath, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.ImportPath) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		checkCalls(pass, f)
+	}
+	analysis.WalkFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		checkMapRanges(pass, fd)
+	})
+	return nil, nil
+}
+
+// checkCalls flags wall-clock reads and global-rand draws anywhere in the
+// file, including package-level initializers.
+func checkCalls(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch analysis.FuncPkgPath(fn) {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(call.Pos(),
+					"call to time.%s in a model/artifact package; host time must not influence model outputs",
+					fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if globalRandFuncs[fn.Name()] && analysis.RecvNamed(fn) == nil {
+				pass.Reportf(call.Pos(),
+					"global math/rand %s draws from the shared unseeded source; derive randomness from the spec seed",
+					fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags range-over-map statements in fd whose iteration order
+// can leak into ordered output: a rendering/hash sink called inside the loop
+// body, or key/value-derived appends in a function that never sorts.
+func checkMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sorts := false
+	var ranges []*ast.RangeStmt
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil {
+				pkg := analysis.FuncPkgPath(fn)
+				if pkg == "sort" || pkg == "slices" || fn.Name() == "SortedKeys" || fn.Name() == "sortedKeys" {
+					sorts = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, n)
+				}
+			}
+		}
+		return true
+	})
+	for _, rng := range ranges {
+		checkOneRange(pass, fd, rng, sorts)
+	}
+}
+
+func checkOneRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, sorts bool) {
+	iterVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				iterVars[obj] = true
+			}
+		}
+	}
+
+	var sinkPos token.Pos = token.NoPos
+	sinkName := ""
+	appendPos := token.NoPos
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(dst, <expr using k or v>...) — order-sensitive accumulation.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltinAppend(pass, id) {
+			for _, arg := range call.Args[1:] {
+				if usesAny(pass, arg, iterVars) && appendPos == token.NoPos {
+					appendPos = call.Pos()
+				}
+			}
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if analysis.FuncPkgPath(fn) == "fmt" && (strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+			if sinkPos == token.NoPos {
+				sinkPos, sinkName = call.Pos(), "fmt."+fn.Name()
+			}
+			return true
+		}
+		if analysis.RecvNamed(fn) != nil && orderedSinkMethods[fn.Name()] {
+			if sinkPos == token.NoPos {
+				sinkPos, sinkName = call.Pos(), fn.Name()
+			}
+		}
+		return true
+	})
+
+	if sinkPos != token.NoPos {
+		pass.Reportf(rng.Pos(),
+			"range over map feeds %s inside the loop body; map order is nondeterministic — iterate sorted keys",
+			sinkName)
+		return
+	}
+	if appendPos != token.NoPos && !sorts {
+		pass.Reportf(rng.Pos(),
+			"range over map appends iteration-derived values and %s never sorts; iterate sorted keys or sort the result",
+			fd.Name.Name)
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, id *ast.Ident) bool {
+	if id.Name != "append" {
+		return false
+	}
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// usesAny reports whether expr references any of the given objects.
+func usesAny(pass *analysis.Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

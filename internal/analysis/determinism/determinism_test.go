@@ -1,0 +1,44 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+// withFixtureScope points the analyzer's scope flag at the fixture tree so
+// the testdata packages count as model/artifact packages.
+func withFixtureScope(t *testing.T) {
+	t.Helper()
+	scope := determinism.Analyzer.Flags[0].Value
+	old := *scope
+	*scope = "testdata/src/"
+	t.Cleanup(func() { *scope = old })
+}
+
+func TestViolations(t *testing.T) {
+	withFixtureScope(t)
+	analysistest.Run(t, determinism.Analyzer, "determ")
+}
+
+func TestClean(t *testing.T) {
+	withFixtureScope(t)
+	analysistest.Run(t, determinism.Analyzer, "determclean")
+}
+
+// TestOutOfScope leaves the default scope in place: the fixture package is
+// then not a model/artifact package and must produce no findings.
+func TestOutOfScope(t *testing.T) {
+	res, err := analysis.Run(analysis.Config{
+		Patterns:  []string{"./testdata/src/determ"},
+		Analyzers: []*analysis.Analyzer{determinism.Analyzer},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("out-of-scope fixture produced %d findings: %v", len(res.Diagnostics), res.Diagnostics)
+	}
+}

@@ -1,0 +1,36 @@
+// Package determ exercises every violation path of the determinism analyzer.
+package determ
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Artifact stamps model output with wall-clock values.
+func Artifact() (time.Time, time.Duration) {
+	start := time.Now()             // want `call to time\.Now`
+	return start, time.Since(start) // want `call to time\.Since`
+}
+
+// Jitter draws from the global unseeded source.
+func Jitter(n int) int {
+	return rand.Intn(n) // want `global math/rand Intn`
+}
+
+// RenderTable prints map entries in iteration order.
+func RenderTable(w io.Writer, rows map[string]int) {
+	for name, v := range rows { // want `range over map feeds fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", name, v)
+	}
+}
+
+// CollectNames accumulates key-derived values with no sort anywhere.
+func CollectNames(rows map[string]int) []string {
+	var out []string
+	for name := range rows { // want `appends iteration-derived values and CollectNames never sorts`
+		out = append(out, name)
+	}
+	return out
+}

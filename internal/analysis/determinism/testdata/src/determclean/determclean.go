@@ -1,0 +1,45 @@
+// Package determclean holds the sanctioned counterparts of the determ
+// fixture's violations: sorted map iteration, spec-seeded randomness,
+// order-insensitive map-to-map copies, and a documented suppression.
+package determclean
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// RenderTable iterates sorted keys; the accumulating loop is excused by the
+// sort in the same function.
+func RenderTable(w io.Writer, rows map[string]int) {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, rows[k])
+	}
+}
+
+// SeededJitter draws from a locally-seeded generator, the sanctioned source
+// of model randomness.
+func SeededJitter(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}
+
+// Copy writes map-to-map, which is order-insensitive.
+func Copy(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// HostTimestamp documents a deliberate host-time exception.
+func HostTimestamp() time.Time {
+	return time.Now() //c3ivet:ignore determinism fixture demonstrates a documented host-time exception
+}

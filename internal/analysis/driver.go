@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// IgnoreDirective is the comment prefix that suppresses a diagnostic on its
+// own line or the line directly below it.
+const IgnoreDirective = "c3ivet:ignore"
+
+// A Config describes one checker run.
+type Config struct {
+	Dir       string // directory the go tool runs in ("" = cwd)
+	Patterns  []string
+	Analyzers []*Analyzer
+}
+
+// A Result is the outcome of a checker run.
+type Result struct {
+	// Diagnostics are the surviving findings, ordered by position then
+	// analyzer name.
+	Diagnostics []Diagnostic
+	// Suppressed are findings silenced by an ignore directive, in the same
+	// order; drivers may surface the count.
+	Suppressed []Diagnostic
+}
+
+// Run loads every package matched by cfg.Patterns, applies each analyzer's
+// Run to each package, then each analyzer's Finish across all packages, and
+// filters the collected diagnostics through ignore directives.
+func Run(cfg Config) (*Result, error) {
+	fset, pkgs, err := Load(cfg.Dir, cfg.Patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	sup := newSuppressions(fset, pkgs)
+	diags = append(diags, sup.malformed...)
+
+	for _, a := range cfg.Analyzers {
+		results := map[string]any{}
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Pkg,
+				TypesInfo:  pkg.Info,
+				ImportPath: pkg.ImportPath,
+				report:     report,
+			}
+			res, rerr := a.Run(pass)
+			if rerr != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, rerr)
+			}
+			if res != nil {
+				results[pkg.ImportPath] = res
+			}
+		}
+		if a.Finish != nil {
+			fp := &FinishPass{Analyzer: a, Fset: fset, Results: results, report: report}
+			if ferr := a.Finish(fp); ferr != nil {
+				return nil, fmt.Errorf("%s: finish: %w", a.Name, ferr)
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, d := range diags {
+		if sup.covers(d) {
+			res.Suppressed = append(res.Suppressed, d)
+		} else {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
+	return res, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// suppressions indexes ignore directives by file and line.
+type suppressions struct {
+	// byLine maps filename → directive line → analyzer names suppressed
+	// there. A directive covers its own line and the next line, so a
+	// trailing comment and a comment above the statement both work.
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+func newSuppressions(fset *token.FileSet, pkgs []*Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, IgnoreDirective) {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, IgnoreDirective))
+					if len(fields) < 2 {
+						s.malformed = append(s.malformed, Diagnostic{
+							Analyzer: "c3ivet",
+							Pos:      pos,
+							Message: fmt.Sprintf("malformed %s directive: want %q",
+								IgnoreDirective, "//"+IgnoreDirective+" <analyzer> <reason>"),
+						})
+						continue
+					}
+					m := s.byLine[pos.Filename]
+					if m == nil {
+						m = map[int][]string{}
+						s.byLine[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], fields[0])
+				}
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether d is silenced by a directive on its line or the
+// line above.
+func (s *suppressions) covers(d Diagnostic) bool {
+	m := s.byLine[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WalkFuncs visits every top-level function declaration in the files; nested
+// function literals are part of their enclosing declaration's body, which is
+// the granularity the pairing analyzers reason at.
+func WalkFuncs(files []*ast.File, visit func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}

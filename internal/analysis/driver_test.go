@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// fakeAnalyzer flags every call to a function named "target"; the supp
+// fixture pairs it with one bare call, one suppressed call, and one call
+// under a malformed (reason-less) directive.
+func fakeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "fake",
+		Doc:  "flag calls to target",
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Name() == "target" {
+						pass.Reportf(call.Pos(), "call to target")
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+func TestDriverSuppressions(t *testing.T) {
+	res, err := Run(Config{
+		Patterns:  []string{"./testdata/src/supp"},
+		Analyzers: []*Analyzer{fakeAnalyzer()},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var fake, malformed int
+	for _, d := range res.Diagnostics {
+		switch {
+		case d.Analyzer == "fake":
+			fake++
+		case strings.Contains(d.Message, "malformed"):
+			malformed++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if fake != 2 {
+		t.Errorf("fake diagnostics = %d, want 2 (bare call + call under malformed directive): %v", fake, res.Diagnostics)
+	}
+	if malformed != 1 {
+		t.Errorf("malformed-directive diagnostics = %d, want 1", malformed)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Errorf("suppressed = %d, want 1: %v", len(res.Suppressed), res.Suppressed)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	res, err := Run(Config{
+		Patterns:  []string{"./testdata/src/supp"},
+		Analyzers: []*Analyzer{fakeAnalyzer()},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 1; i < len(res.Diagnostics); i++ {
+		a, b := res.Diagnostics[i-1], res.Diagnostics[i]
+		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsTypeErrors(t *testing.T) {
+	if _, _, err := Load("", []string{"./testdata/src/doesnotexist"}); err == nil {
+		t.Error("Load of a nonexistent package succeeded, want error")
+	}
+}

@@ -1,0 +1,131 @@
+// Package fullempty checks full/empty-bit discipline in the fine-style
+// solvers: every ReadFE guard (read-full-set-empty) must be paired with a
+// WriteEF or Write commit on the same synchronization variable within the
+// same function, and machine counters/barriers must keep their registered
+// names — an unpaired guard leaves a word empty forever, which on the
+// modeled Tera hardware means every later reader blocks.
+package fullempty
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fullempty",
+	Doc: "pair every machine.SyncVar ReadFE guard with a WriteEF/Write " +
+		"commit in the same function, and require machine counters/barriers " +
+		"to be kept under a non-empty registered name",
+	Run: run,
+}
+
+// commitMethods refill a sync variable after a ReadFE drained it. Reset is
+// deliberately absent: purging a word is not a commit.
+var commitMethods = map[string]bool{"WriteEF": true, "Write": true}
+
+// registeredCtors are the Thread methods that create named synchronization
+// objects; their results must be kept and their names must be non-empty.
+var registeredCtors = map[string]bool{
+	"NewCounter": true, "NewBarrier": true, "NewSyncVar": true, "NewLock": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	analysis.WalkFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		checkPairing(pass, fd)
+	})
+	for _, f := range pass.Files {
+		checkCtors(pass, f)
+	}
+	return nil, nil
+}
+
+// checkPairing matches guards to commits per receiver expression inside one
+// top-level function (nested literals included: a solver's worker closures
+// share the declaration's stripe variables).
+func checkPairing(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type guard struct {
+		pos  ast.Node
+		recv string
+	}
+	var guards []guard
+	commits := map[string]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || analysis.FuncPkgName(fn) != "machine" {
+			return true
+		}
+		named := analysis.RecvNamed(fn)
+		if named == nil || named.Obj().Name() != "SyncVar" {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		switch {
+		case fn.Name() == "ReadFE":
+			guards = append(guards, guard{pos: call, recv: recv})
+		case commitMethods[fn.Name()]:
+			commits[recv] = true
+		}
+		return true
+	})
+	for _, g := range guards {
+		if !commits[g.recv] {
+			pass.Reportf(g.pos.Pos(),
+				"ReadFE on %s has no matching WriteEF/Write commit in %s; an aborted guard leaves the word empty and deadlocks later readers",
+				g.recv, fd.Name.Name)
+		}
+	}
+}
+
+// checkCtors enforces that registered synchronization objects are kept and
+// carry a non-empty name.
+func checkCtors(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		// A constructor call standing alone as a statement discards the
+		// object the name was registered for.
+		if stmt, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+				if fn := ctorFunc(pass, call); fn != nil {
+					pass.Reportf(call.Pos(),
+						"result of machine.%s is discarded; keep the registered synchronization object",
+						fn.Name())
+				}
+			}
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := ctorFunc(pass, call)
+		if fn == nil || len(call.Args) == 0 {
+			return true
+		}
+		if name, isConst := analysis.ConstString(pass.TypesInfo, call.Args[0]); isConst && name == "" {
+			pass.Reportf(call.Args[0].Pos(),
+				"machine.%s registered with an empty name; full/empty objects must carry their registered name",
+				fn.Name())
+		}
+		return true
+	})
+}
+
+func ctorFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || analysis.FuncPkgName(fn) != "machine" || !registeredCtors[fn.Name()] {
+		return nil
+	}
+	if named := analysis.RecvNamed(fn); named == nil || named.Obj().Name() != "Thread" {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,16 @@
+package fullempty_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fullempty"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, fullempty.Analyzer, "fe")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, fullempty.Analyzer, "feclean")
+}

@@ -1,0 +1,25 @@
+// Package fe exercises every violation path of the fullempty analyzer.
+package fe
+
+import "repro/internal/machine"
+
+// BadGuard drains a stripe and never refills it.
+func BadGuard(t *machine.Thread, sv *machine.SyncVar) int64 {
+	return sv.ReadFE(t) // want `ReadFE on sv has no matching WriteEF/Write commit in BadGuard`
+}
+
+// MismatchedGuard commits to a different stripe than it drained.
+func MismatchedGuard(t *machine.Thread, a, b *machine.SyncVar) {
+	v := a.ReadFE(t) // want `ReadFE on a has no matching WriteEF/Write commit in MismatchedGuard`
+	b.WriteEF(t, v)
+}
+
+// DroppedCounter discards the registered object.
+func DroppedCounter(t *machine.Thread) {
+	t.NewCounter("dropped", 0) // want `result of machine\.NewCounter is discarded`
+}
+
+// AnonymousBarrier registers an empty name.
+func AnonymousBarrier(t *machine.Thread) *machine.Barrier {
+	return t.NewBarrier("", 2) // want `machine\.NewBarrier registered with an empty name`
+}

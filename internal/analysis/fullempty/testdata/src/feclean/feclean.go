@@ -1,0 +1,26 @@
+// Package feclean holds the sanctioned counterparts of the fe fixture's
+// violations: guard/commit pairs on the same stripe (including inside worker
+// closures) and kept, named synchronization objects.
+package feclean
+
+import "repro/internal/machine"
+
+// GuardedUpdate refills the stripe it drained.
+func GuardedUpdate(t *machine.Thread, sv *machine.SyncVar) {
+	v := sv.ReadFE(t)
+	sv.WriteEF(t, v+1)
+}
+
+// WorkerClosure pairs guard and commit inside a spawned closure, the shape
+// of the fine-style solvers.
+func WorkerClosure(t *machine.Thread, sv *machine.SyncVar) *machine.Thread {
+	return t.Go("worker", func(c *machine.Thread) {
+		v := sv.ReadFE(c)
+		sv.Write(c, v)
+	})
+}
+
+// Registered keeps its named objects.
+func Registered(t *machine.Thread) (*machine.Counter, *machine.Barrier) {
+	return t.NewCounter("claims", 0), t.NewBarrier("phase", 2)
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Load resolves patterns with the go tool, parses every matched package's
+// non-test sources, and type-checks them against the compiler's export data
+// for their dependencies. It works entirely offline: `go list -export`
+// populates the build cache with export files, and a gc-compatible importer
+// reads dependencies from those files instead of a module download.
+//
+// dir is the directory the go tool runs in ("" = current directory); explicit
+// testdata paths are accepted (the analysistest fixtures rely on this, since
+// `...` wildcards skip testdata).
+func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	targets, err := goList(dir, nil, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	want := make(map[string]bool, len(targets))
+	for _, p := range targets {
+		want[p.ImportPath] = true
+	}
+
+	// The -deps run compiles the whole dependency graph, yielding an export
+	// data file per package; those files are the importer's source of truth.
+	all, err := goList(dir, []string{"-e", "-export", "-deps"}, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	var typeErrs []string
+	for _, p := range all {
+		if !want[p.ImportPath] || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, gf := range p.GoFiles {
+			f, perr := parser.ParseFile(fset, filepath.Join(p.Dir, gf), nil, parser.ParseComments)
+			if perr != nil {
+				return nil, nil, fmt.Errorf("parse %s: %w", gf, perr)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err.Error()) },
+		}
+		tpkg, _ := conf.Check(p.ImportPath, fset, files, info)
+		pkgs = append(pkgs, &Package{
+			ImportPath: p.ImportPath,
+			Name:       p.Name,
+			Dir:        p.Dir,
+			Files:      files,
+			Pkg:        tpkg,
+			Info:       info,
+		})
+	}
+	if len(typeErrs) > 0 {
+		return nil, nil, fmt.Errorf("type checking failed:\n  %s", strings.Join(typeErrs, "\n  "))
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return fset, pkgs, nil
+}
+
+func goList(dir string, flags, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard"}, flags...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("decode go list output: %w", derr)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,165 @@
+// Package metriclint bounds the cardinality of the obs metrics surface:
+// metric registration must use declared string constants (never inline
+// literals or fmt.Sprintf-built names), label keys must be compile-time
+// constants, and a given metric name must use the same label-key set at
+// every call site across the module — differing key sets silently split one
+// logical series into several.
+package metriclint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclint",
+	Doc: "require statically declared obs metric names and bounded, " +
+		"call-site-consistent label sets",
+	Run:    run,
+	Finish: finish,
+}
+
+// registryMethods create or look up a metric series by name + labels.
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// A Site is one registry call with a statically-known name and label-key
+// set, recorded for the cross-package consistency check.
+type Site struct {
+	Name string
+	Keys []string // sorted label keys; nil means unknown (non-literal labels)
+	Lit  bool     // labels argument was a composite literal
+	Pos  token.Pos
+}
+
+// Facts is the per-package result consumed by Finish.
+type Facts struct {
+	ImportPath string
+	Sites      []Site
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	facts := &Facts{ImportPath: pass.ImportPath}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || analysis.FuncPkgName(fn) != "obs" || !registryMethods[fn.Name()] {
+				return true
+			}
+			if named := analysis.RecvNamed(fn); named == nil || named.Obj().Name() != "Registry" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			site := Site{Pos: call.Pos()}
+			checkName(pass, fn.Name(), call.Args[0], &site)
+			checkLabels(pass, call.Args[1], &site)
+			if site.Name != "" && site.Lit {
+				facts.Sites = append(facts.Sites, site)
+			}
+			return true
+		})
+	}
+	if len(facts.Sites) == 0 {
+		return nil, nil
+	}
+	return facts, nil
+}
+
+// checkName enforces that the metric name is a declared constant (or a plain
+// identifier, which permits thin wrappers that thread a constant through a
+// parameter).
+func checkName(pass *analysis.Pass, method string, arg ast.Expr, site *Site) {
+	arg = ast.Unparen(arg)
+	name, isConst := analysis.ConstString(pass.TypesInfo, arg)
+	if isConst {
+		if _, isLit := arg.(*ast.BasicLit); isLit {
+			pass.Reportf(arg.Pos(),
+				"obs.%s name is an inline string literal; declare an exported metric-name constant",
+				method)
+			return
+		}
+		site.Name = name
+		return
+	}
+	switch arg.(type) {
+	case *ast.Ident:
+		// A non-constant identifier is a wrapper parameter; the constant is
+		// checked where the wrapper is called.
+	case *ast.CallExpr:
+		pass.Reportf(arg.Pos(),
+			"obs.%s name is built by a function call; metric names must be static (no fmt.Sprintf)",
+			method)
+	default:
+		pass.Reportf(arg.Pos(),
+			"obs.%s name is not statically bounded; use a declared metric-name constant",
+			method)
+	}
+}
+
+// checkLabels enforces constant label keys and records the key set when the
+// labels argument is a composite literal.
+func checkLabels(pass *analysis.Pass, arg ast.Expr, site *Site) {
+	lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+	if !ok {
+		return // nil or a labels variable: cardinality judged at its literal
+	}
+	site.Lit = true
+	keys := []string{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, isConst := analysis.ConstString(pass.TypesInfo, kv.Key)
+		if !isConst {
+			pass.Reportf(kv.Key.Pos(),
+				"obs label key is not a compile-time constant; label sets must be statically bounded")
+			site.Lit = false
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	site.Keys = keys
+}
+
+// finish cross-checks label-key sets per metric name across every package.
+func finish(fp *analysis.FinishPass) error {
+	paths := make([]string, 0, len(fp.Results))
+	for path := range fp.Results {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	type first struct {
+		keys string
+		pos  token.Pos
+	}
+	seen := map[string]first{}
+	for _, path := range paths {
+		facts := fp.Results[path].(*Facts)
+		for _, site := range facts.Sites {
+			keys := strings.Join(site.Keys, ",")
+			prev, ok := seen[site.Name]
+			if !ok {
+				seen[site.Name] = first{keys: keys, pos: site.Pos}
+				continue
+			}
+			if prev.keys != keys {
+				fp.Reportf(site.Pos,
+					"metric %q used with label keys [%s] here but [%s] at %s; label keys must be consistent per metric name",
+					site.Name, keys, prev.keys, fp.Fset.Position(prev.pos))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metriclint"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, metriclint.Analyzer, "ml")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, metriclint.Analyzer, "mlclean")
+}

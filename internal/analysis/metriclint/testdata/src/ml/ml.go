@@ -1,0 +1,37 @@
+// Package ml exercises every violation path of the metriclint analyzer.
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// MetricShared is reused below with two different label-key sets.
+const MetricShared = "ml_shared_total"
+
+// InlineName registers with an inline literal instead of a constant.
+func InlineName(r *obs.Registry) {
+	r.Counter("ml_inline_total", nil) // want `inline string literal`
+}
+
+// SprintfName builds an unbounded name dynamically.
+func SprintfName(r *obs.Registry, shard int) {
+	r.Counter(fmt.Sprintf("ml_shard_%d_total", shard), nil) // want `built by a function call`
+}
+
+// ConcatName concatenates a non-constant suffix.
+func ConcatName(r *obs.Registry, suffix string) {
+	r.Counter("ml_"+suffix, nil) // want `not statically bounded`
+}
+
+// DynamicKey uses a runtime label key.
+func DynamicKey(r *obs.Registry, k string) {
+	r.Gauge(MetricShared, obs.Labels{k: "v"}) // want `label key is not a compile-time constant`
+}
+
+// Inconsistent uses two label-key sets for one metric name.
+func Inconsistent(r *obs.Registry) {
+	r.Counter(MetricShared, obs.Labels{"shard": "0"})
+	r.Counter(MetricShared, obs.Labels{"replica": "0"}) // want `label keys must be consistent per metric name`
+}

@@ -1,0 +1,21 @@
+// Package mlclean holds the sanctioned counterparts of the ml fixture's
+// violations: declared name constants, constant label keys used consistently,
+// and the thin-wrapper idiom that threads a constant through a parameter.
+package mlclean
+
+import "repro/internal/obs"
+
+// MetricRequests is the declared name for the request counter.
+const MetricRequests = "mlclean_requests_total"
+
+// count is the wrapper idiom: the name parameter is an identifier, and the
+// constant is checked where the wrapper is called.
+func count(r *obs.Registry, name, shard string) {
+	r.Counter(name, obs.Labels{"shard": shard}).Inc()
+}
+
+// Record uses one label-key set for the metric at every call site.
+func Record(r *obs.Registry, shard string) {
+	count(r, MetricRequests, shard)
+	r.Counter(MetricRequests, obs.Labels{"shard": shard}).Inc()
+}

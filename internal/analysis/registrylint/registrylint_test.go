@@ -1,0 +1,16 @@
+package registrylint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/registrylint"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, registrylint.Analyzer, "reg")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, registrylint.Analyzer, "regclean")
+}

@@ -1,0 +1,42 @@
+// Package regclean holds the sanctioned counterparts of the reg fixture's
+// violations: a codec entry per registration, and every Params key declared
+// through a variant default (inline, shared var, or Merged overlay) or a
+// grid axis.
+package regclean
+
+import (
+	"repro/internal/c3i/data"
+	"repro/internal/c3i/suite"
+	"repro/internal/machine"
+)
+
+// shared is the shared-defaults idiom: its keys are declarations because a
+// Defaults field references it.
+var shared = suite.Params{"rounds": 0}
+
+func run(t *machine.Thread, sc suite.Scenario, p suite.Params) suite.Output {
+	_ = p["rounds"]
+	_ = p["chunks"]
+	return suite.Output{}
+}
+
+var codecs = map[string]data.Codec{
+	"regclean-wl": {},
+}
+
+// Kinds keeps the codec table referenced.
+func Kinds() int { return len(codecs) }
+
+// Register declares a covered workload whose params are all declared.
+func Register() {
+	suite.MustRegister(&suite.Workload{
+		Name: "regclean-wl",
+		Variants: []*suite.Variant{
+			{Name: "coarse", Style: suite.Coarse, Defaults: shared.Merged(suite.Params{"chunks": 8}), Run: run},
+		},
+		Grid: &suite.Grid{Axes: []suite.Axis{
+			{Name: "chunks", Kind: suite.AxisParam, Values: []float64{4, 8}},
+		}},
+	})
+	_ = suite.Params{"chunks": 16}
+}

@@ -1,0 +1,14 @@
+// Package supp exercises the driver's ignore directives: a bare finding, a
+// properly suppressed one, and a malformed directive (no reason) that both
+// fails to suppress and is reported itself.
+package supp
+
+func target() {}
+
+// Calls holds three flaggable calls with different suppression outcomes.
+func Calls() {
+	target()
+	target() //c3ivet:ignore fake documented reason
+	//c3ivet:ignore fake
+	target()
+}

@@ -408,3 +408,16 @@ func AnyPractical(reports []*Report) bool {
 	}
 	return false
 }
+
+// AnySequential reports whether any analyzed loop, at any nesting depth, was
+// left sequential — the predicate behind cmd/autopar's -strict gate, which
+// fails a build whose loops the analyzer could not (or was not told to)
+// parallelize.
+func AnySequential(reports []*Report) bool {
+	for _, r := range reports {
+		if r.Verdict == Sequential || AnySequential(r.Children) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package autopar
+
+import "testing"
+
+// TestAnySequential pins the -strict gate's predicate, including nested
+// loops: a parallel outer loop with a sequential inner loop must still trip
+// the gate.
+func TestAnySequential(t *testing.T) {
+	if AnySequential(AnalyzeProgram(VectorAdd())) {
+		t.Error("vector add tripped the strict gate; want all-parallel")
+	}
+	if !AnySequential(AnalyzeProgram(Stencil1D())) {
+		t.Error("stencil did not trip the strict gate; want Sequential detected")
+	}
+	if !AnySequential(AnalyzeProgram(Program1ThreatSequential())) {
+		t.Error("Program 1 did not trip the strict gate")
+	}
+
+	// Nested detection: build a report tree whose only Sequential verdict is
+	// a grandchild.
+	tree := []*Report{{
+		Verdict: Parallel,
+		Children: []*Report{{
+			Verdict:  ParallelByPragma,
+			Children: []*Report{{Verdict: Sequential}},
+		}},
+	}}
+	if !AnySequential(tree) {
+		t.Error("nested Sequential verdict not detected")
+	}
+	if AnySequential([]*Report{{Verdict: Parallel}}) {
+		t.Error("all-parallel tree tripped the strict gate")
+	}
+}

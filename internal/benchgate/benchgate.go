@@ -286,10 +286,13 @@ func Compare(base, current *Report, overrides map[string]float64) (*Comparison, 
 }
 
 // compareFamily gates one family; names in Missing/Added are prefixed with
-// the family for unambiguous reporting.
+// the family for unambiguous reporting. Both maps are walked in sorted key
+// order so the comparison lists are deterministic on their own, not only
+// after the caller's cross-family sort.
 func (c *Comparison) compareFamily(f Family, base, current map[string]float64, threshold float64) {
 	prefix := f.Name + ": "
-	for name, b := range base {
+	for _, name := range sortedKeys(base) {
+		b := base[name]
 		cur, ok := current[name]
 		if !ok {
 			c.Missing = append(c.Missing, prefix+name)
@@ -303,11 +306,20 @@ func (c *Comparison) compareFamily(f Family, base, current map[string]float64, t
 			})
 		}
 	}
-	for name := range current {
+	for _, name := range sortedKeys(current) {
 		if _, ok := base[name]; !ok {
 			c.Added = append(c.Added, prefix+name)
 		}
 	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Render writes the human-readable verdict to w and reports whether the

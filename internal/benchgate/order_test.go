@@ -1,0 +1,53 @@
+package benchgate
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestCompareFamilyDeterministicOrder is the regression test for the c3ivet
+// determinism finding: compareFamily used to walk both maps in Go's random
+// iteration order, leaving Missing/Added/Regressions ordering to a sort in
+// the caller. The lists must now be deterministic and sorted per family on
+// their own.
+func TestCompareFamilyDeterministicOrder(t *testing.T) {
+	f := Family{Name: "benchmarks", Unit: "ns/op"}
+	base := map[string]float64{
+		"zeta": 100, "alpha": 100, "mid": 100, "kappa": 100, "beta": 100,
+		"gone-b": 1, "gone-a": 1, "gone-c": 1,
+	}
+	current := map[string]float64{
+		"zeta": 500, "alpha": 300, "mid": 100, "kappa": 100, "beta": 100,
+		"new-b": 1, "new-a": 1, "new-c": 1,
+	}
+
+	var first Comparison
+	first.compareFamily(f, base, current, 2)
+
+	wantMissing := []string{"benchmarks: gone-a", "benchmarks: gone-b", "benchmarks: gone-c"}
+	if !reflect.DeepEqual(first.Missing, wantMissing) {
+		t.Errorf("Missing = %v, want %v", first.Missing, wantMissing)
+	}
+	wantAdded := []string{"benchmarks: new-a", "benchmarks: new-b", "benchmarks: new-c"}
+	if !reflect.DeepEqual(first.Added, wantAdded) {
+		t.Errorf("Added = %v, want %v", first.Added, wantAdded)
+	}
+	var regNames []string
+	for _, r := range first.Regressions {
+		regNames = append(regNames, r.Name)
+	}
+	if !sort.StringsAreSorted(regNames) {
+		t.Errorf("Regressions not in sorted key order: %v", regNames)
+	}
+
+	// Identical inputs must yield identical output across repeated runs —
+	// with map-order iteration this flaked at better than 1-in-many odds.
+	for i := 0; i < 20; i++ {
+		var again Comparison
+		again.compareFamily(f, base, current, 2)
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("run %d differs:\n%+v\nvs\n%+v", i, again, first)
+		}
+	}
+}

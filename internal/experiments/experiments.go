@@ -294,9 +294,9 @@ func runExperiment(id string, cfg Config) Outcome {
 	if err != nil {
 		return Outcome{Experiment: Experiment{ID: id}, Err: err}
 	}
-	start := time.Now()
+	start := time.Now() //c3ivet:ignore determinism host-elapsed bookkeeping; model output comes from e.Run
 	res, err := e.Run(cfg)
-	return Outcome{Experiment: e, Result: res, Err: err, Elapsed: time.Since(start)}
+	return Outcome{Experiment: e, Result: res, Err: err, Elapsed: time.Since(start)} //c3ivet:ignore determinism Elapsed is host wall-clock, never part of the model artifact
 }
 
 // sharedRunner executes every experiment Spec; its suite and Record caches

@@ -106,7 +106,7 @@ func (h *Harness) runStep(ctx context.Context, gen *generator, rps float64, endp
 	col := newCollector()
 	tokens := make(chan struct{}, h.cfg.MaxInflight)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //c3ivet:ignore determinism the load harness measures real wall-clock latency by design
 	warmEnd := start.Add(h.cfg.Warmup)
 	deadline := warmEnd.Add(h.cfg.StepDuration)
 	for n := 0; ; n++ {
@@ -121,7 +121,7 @@ func (h *Harness) runStep(ctx context.Context, gen *generator, rps float64, endp
 			}
 		}
 		req := gen.next()
-		recorded := !time.Now().Before(warmEnd)
+		recorded := !time.Now().Before(warmEnd) //c3ivet:ignore determinism warmup cutoff is a wall-clock decision, not a model input
 		select {
 		case tokens <- struct{}{}:
 		default:
@@ -142,7 +142,7 @@ func (h *Harness) runStep(ctx context.Context, gen *generator, rps float64, endp
 			}
 		}(req, recorded)
 	}
-	window := time.Since(warmEnd)
+	window := time.Since(warmEnd) //c3ivet:ignore determinism the measurement window is host wall-clock by design
 	if window <= 0 {
 		window = time.Nanosecond
 	}
@@ -159,7 +159,7 @@ func (h *Harness) runStep(ctx context.Context, gen *generator, rps float64, endp
 // event arrives, since a Record still in flight is not yet served.
 func (h *Harness) send(ctx context.Context, req request) outcome {
 	o := outcome{specs: len(req.specs)}
-	t0 := time.Now()
+	t0 := time.Now() //c3ivet:ignore determinism per-request latency measurement is the harness output
 	var err error
 	if req.endpoint == serve.StreamPath {
 		err = h.client.RunStream(ctx, req.specs, func(ev run.StreamEvent) {
@@ -182,7 +182,7 @@ func (h *Harness) send(ctx context.Context, req request) outcome {
 			}
 		}
 	}
-	o.latency = time.Since(t0)
+	o.latency = time.Since(t0) //c3ivet:ignore determinism per-request latency measurement is the harness output
 	if err != nil {
 		var se *serve.StatusError
 		if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {

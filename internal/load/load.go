@@ -398,7 +398,7 @@ func (g *generator) fresh(f family) run.Spec {
 		Platform: g.cfg.Platform,
 		Procs:    g.cfg.Procs,
 		Scale:    f.scale,
-		Params:   suite.Params{"load_seq": g.seq},
+		Params:   suite.Params{"load_seq": g.seq}, //c3ivet:ignore registrylint load_seq is a synthetic cache-busting key; solvers ignore unknown params
 		Validate: g.cfg.Validate,
 	}
 }

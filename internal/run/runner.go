@@ -318,7 +318,7 @@ func (r *Runner) executeOn(ctx context.Context, ns Spec, scs []suite.Scenario) (
 		p[suite.ValidateParam] = 1
 	}
 	key := ns.render()
-	start := time.Now()
+	start := time.Now() //c3ivet:ignore determinism HostElapsed is host wall-clock cost, reported beside the model artifact
 	r.execs.Add(1)
 	r.metrics.Counter(MetricExecutions, workloadLabels(ns.Workload)).Inc()
 	var checksum, overhead uint64
@@ -339,7 +339,7 @@ func (r *Runner) executeOn(ctx context.Context, ns Spec, scs []suite.Scenario) (
 		}
 	})
 	r.metrics.Histogram(MetricExecSeconds, workloadLabels(ns.Workload), obs.DefLatencyBuckets).
-		Observe(time.Since(start).Seconds())
+		Observe(time.Since(start).Seconds()) //c3ivet:ignore determinism exec-latency metric is host-side observability
 	if err != nil {
 		return Record{}, fmt.Errorf("run: %s: %w", key, err)
 	}
@@ -351,7 +351,7 @@ func (r *Runner) executeOn(ctx context.Context, ns Spec, scs []suite.Scenario) (
 		Checksum:      Checksum(checksum),
 		OverheadBytes: overhead,
 		Stats:         res.Stats,
-		HostElapsed:   time.Since(start),
+		HostElapsed:   time.Since(start), //c3ivet:ignore determinism HostElapsed is explicitly host-dependent and excluded from the checksum
 	}, nil
 }
 
@@ -403,9 +403,9 @@ func (m *onceMap[T]) doTracked(key string, fn func() (T, error)) (val T, err err
 	}
 	if c, ok := m.inflight[key]; ok {
 		m.mu.Unlock()
-		start := time.Now()
+		start := time.Now() //c3ivet:ignore determinism single-flight wait time is host-side observability
 		<-c.ready
-		return c.val, c.err, true, time.Since(start)
+		return c.val, c.err, true, time.Since(start) //c3ivet:ignore determinism single-flight wait time is host-side observability
 	}
 	c := &onceCall[T]{ready: make(chan struct{})}
 	m.inflight[key] = c
